@@ -1,0 +1,43 @@
+"""Benchmark plumbing.
+
+Each benchmark regenerates one paper table/figure via the experiment
+harness, prints it, and asserts the *shape* claims (who wins, trend
+directions, onsets).  ``pedantic(rounds=1)`` keeps pytest-benchmark
+from re-running multi-minute simulations; the reported time is the
+wall-clock cost of regenerating that figure.
+
+Set ``REPRO_FULL_SCALE=1`` for paper-size (10/40 MB) transfers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run one experiment under the benchmark timer and print it."""
+
+    def _run(exp_id: str):
+        report = benchmark.pedantic(
+            lambda: run_experiment(exp_id), rounds=1, iterations=1)
+        print()
+        print(report.render())
+        return report
+
+    return _run
+
+
+def table(report, title_prefix: str):
+    """Fetch one table (headers, rows) from a report by title prefix."""
+    for title, headers, rows in report.tables:
+        if title.startswith(title_prefix):
+            return headers, rows
+    raise KeyError(f"no table starting with {title_prefix!r} in "
+                   f"{[t for t, _, _ in report.tables]}")
+
+
+def column(rows, idx):
+    return [r[idx] for r in rows]

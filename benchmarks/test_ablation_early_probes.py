@@ -1,0 +1,16 @@
+"""Ablation: early probes (paper future work 1) vs the stop-and-wait
+behaviour at small buffers on 100 Mbps."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_early_probes(regen):
+    report = regen("ablation-early-probes")
+    _, rows = table(report, "early-probe ablation")
+    off = {r[1]: r[2] for r in rows if r[0] == "off"}
+    on = {r[1]: r[2] for r in rows if r[0] == "on"}
+    # the stop-and-wait regime (smallest buffer) benefits the most
+    assert on["64K"] > off["64K"]
+    # and nowhere does early probing hurt materially
+    for buf in off:
+        assert on[buf] > 0.85 * off[buf], (buf, off, on)

@@ -1,0 +1,16 @@
+"""Ablation: forward error correction (paper future work 4)."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_fec(regen):
+    report = regen("ablation-fec")
+    _, rows = table(report, "FEC")
+    by = {r[0]: r for r in rows}
+    off, on = by["off"], by["on"]
+    # parity flowed and repaired losses without a NAK round trip
+    assert on[2] > 0 and on[3] > 0
+    # so the sender saw substantially fewer NAKs
+    assert on[1] < 0.8 * off[1]
+    # recovery latency saved shows up as throughput not lost
+    assert on[4] >= 0.9 * off[4]

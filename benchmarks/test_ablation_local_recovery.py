@@ -1,0 +1,15 @@
+"""Ablation: local recovery (paper future work 3)."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_local_recovery(regen):
+    report = regen("ablation-local-recovery")
+    _, rows = table(report, "local recovery")
+    by = {r[0]: r for r in rows}
+    off, on = by["off"], by["on"]
+    # peers actually repaired losses
+    assert on[3] > 0 and on[4] > 0
+    # offloading the sender: fewer NAKs and retransmissions arrive there
+    assert on[1] < off[1]
+    assert on[2] <= off[2]

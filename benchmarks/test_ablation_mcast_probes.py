@@ -1,0 +1,16 @@
+"""Ablation: multicast probes above a receiver-count threshold (paper
+future work 2)."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_mcast_probes(regen):
+    report = regen("ablation-mcast-probes")
+    _, rows = table(report, "probe fan-out")
+    by = {r[0]: r for r in rows}
+    unicast = [v for k, v in by.items() if k == "unicast"][0]
+    mcast = [v for k, v in by.items() if k != "unicast"][0]
+    # one multicast probe replaces a per-receiver storm
+    assert mcast[1] < unicast[1]
+    # without hurting throughput materially
+    assert mcast[2] > 0.7 * unicast[2]

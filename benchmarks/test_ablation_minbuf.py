@@ -1,0 +1,19 @@
+"""Ablation: the MINBUF buffer-hold heuristic (paper section 2 sets it
+to 10 RTTs)."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_minbuf(regen):
+    report = regen("ablation-minbuf")
+    _, rows = table(report, "MINBUF ablation")
+    by = {r[0]: r for r in rows}
+    # a tiny hold time forces probing for data still in flight
+    assert by[1][2] >= by[10][2], "MINBUF=1 should probe at least as " \
+                                  "much as MINBUF=10"
+    # the paper's value sits on the flat part: 5 vs 10 vs 20 all deliver
+    flat = [by[k][1] for k in (5, 10, 20)]
+    assert max(flat) - min(flat) < 0.5 * max(flat)
+    # reliability holds at every setting (H-RMC property)
+    # (ok-ness is implied by the experiment completing with throughput)
+    assert all(r[1] > 0 for r in rows)

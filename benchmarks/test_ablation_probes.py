@@ -1,0 +1,24 @@
+"""Ablation: probe-before-release on/off -- the reliability guarantee."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_probes(regen):
+    report = regen("ablation-probes")
+    _, rows = table(report, "probes ablation")
+    by = {r[0]: r for r in rows}
+
+    # H-RMC never violates, at any hold time
+    assert by["H-RMC (probes on)"][1] == 0
+    assert by["H-RMC (probes on)"][3] == "yes"
+    assert by["H-RMC, MINBUF=1"][1] == 0
+    assert by["H-RMC, MINBUF=1"][3] == "yes"
+
+    # RMC at the paper's MINBUF=10 is safe in practice ("rare and never
+    # happened in the RMC experiments")
+    assert by["RMC, MINBUF=10"][1] == 0
+
+    # shrink the hold heuristic and the pure-NAK design drops data
+    assert by["RMC, MINBUF=1"][1] > 0
+    assert by["RMC, MINBUF=1"][2] > 0
+    assert by["RMC, MINBUF=1"][3] == "NO"

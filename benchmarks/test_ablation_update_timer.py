@@ -1,0 +1,16 @@
+"""Ablation: dynamic vs fixed update period (paper section 3)."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_update_timer(regen):
+    report = regen("ablation-update-timer")
+    _, rows = table(report, "update-timer ablation")
+    by = {(r[0], r[1]): r for r in rows}
+    # in the low-loss environment the dynamic timer shortens the period,
+    # trading updates for probes
+    lan_fixed, lan_dyn = by[("LAN", "fixed")], by[("LAN", "dynamic")]
+    assert lan_dyn[2] <= lan_fixed[2]          # fewer probes
+    assert lan_dyn[3] >= lan_fixed[3]          # more updates
+    # nothing breaks in the lossy environment
+    assert by[("WAN", "dynamic")][4] > 0

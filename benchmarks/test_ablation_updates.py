@@ -1,0 +1,23 @@
+"""Ablation: periodic updates on/off (the Figure 3 mechanism, isolated
+on an RMC-style ungated release)."""
+
+from benchmarks.conftest import table
+
+
+def test_ablation_updates(regen):
+    report = regen("ablation-updates")
+    _, rows = table(report, "updates ablation")
+    by = {(r[0], r[1]): r for r in rows}
+    for env in ("LAN", "WAN"):
+        off = by[(env, "off")]
+        on = by[(env, "on")]
+        # updates flow only in the "on" arm
+        assert on[3] > 0
+        assert off[3] == 0
+        # and must not lower release-time completeness
+        assert on[2] >= off[2] - 1.0
+    # most dramatic at low loss, where NAKs are scarce (Fig. 3a vs 3b):
+    # updates at least double the completeness
+    assert by[("LAN", "on")][2] >= 2.0 * max(by[("LAN", "off")][2], 0.5)
+    # under WAN loss, NAKs already inform the sender fairly often
+    assert by[("WAN", "off")][2] > by[("LAN", "off")][2]

@@ -1,0 +1,23 @@
+"""Section 6 comparison: H-RMC vs RMC vs ACK-based vs polling-based vs
+TCP-like unicast on identical hardware."""
+
+from benchmarks.conftest import table
+
+
+def test_baselines(regen):
+    report = regen("baselines")
+    _, rows = table(report, "protocol comparison")
+    by_proto = {r[0]: r for r in rows}
+    tput = {p: r[1] for p, r in by_proto.items()}
+    feedback = {p: r[2] for p, r in by_proto.items()}
+
+    # every protocol delivered everything
+    assert all(r[4] == "yes" for r in rows)
+    # "throughput comparable to TCP and the purely NAK-based RMC":
+    # H-RMC within 10% of RMC, and far above per-group TCP service
+    assert tput["hrmc"] > 0.9 * tput["rmc"]
+    assert tput["hrmc"] > 2.0 * tput["tcp"]
+    # feedback: H-RMC an order of magnitude below ACK-based
+    assert feedback["hrmc"] * 5 < feedback["ack"]
+    # and H-RMC throughput holds up against ACK-based
+    assert tput["hrmc"] > 0.9 * tput["ack"]

@@ -1,0 +1,27 @@
+"""Figure 3: % of buffer releases with complete receiver information,
+without (RMC) and with (H-RMC) periodic updates."""
+
+from benchmarks.conftest import column, table
+
+
+def test_fig3(regen):
+    report = regen("fig3")
+    _, rmc_rows = table(report, "(a) without updates")
+    _, hrmc_rows = table(report, "(b) with updates")
+
+    # columns: buffer, LAN, MAN, WAN
+    for env_idx, env in ((1, "LAN"), (2, "MAN"), (3, "WAN")):
+        rmc_vals = column(rmc_rows, env_idx)
+        hrmc_vals = column(hrmc_rows, env_idx)
+        # updates lift completeness everywhere
+        for r, h in zip(rmc_vals, hrmc_vals):
+            assert h >= r, f"{env}: updates must not lower completeness"
+        assert min(hrmc_vals) > 80.0, f"{env}: H-RMC should be near 100%"
+
+    # RMC in the low-loss environment is information-starved (the whole
+    # point of Figure 3a)
+    lan_rmc = column(rmc_rows, 1)
+    assert max(lan_rmc) < 60.0
+    # with loss, NAKs inform the RMC sender more often than at low loss
+    wan_rmc = column(rmc_rows, 3)
+    assert max(wan_rmc) > max(lan_rmc)

@@ -1,0 +1,25 @@
+"""Figure 11: feedback activity (rate requests and NAKs) for the
+10 Mbps disk-to-disk tests."""
+
+from benchmarks.conftest import column, table
+
+
+def test_fig11(regen):
+    report = regen("fig11")
+
+    for panel in ("(a) rate requests, small file",
+                  "(c) rate requests, large file"):
+        _, rows = table(report, panel)
+        for rcv_idx in (1, 2, 3):
+            reqs = column(rows, rcv_idx)
+            # rate requests shrink as buffers grow (64K vs 1024K)
+            assert reqs[0] >= reqs[-1], panel
+        # somebody actually sent rate requests at the smallest buffer
+        assert sum(rows[0][1:]) > 0, panel
+
+    for panel in ("(b) NAKs, small file", "(d) NAKs, large file"):
+        _, rows = table(report, panel)
+        total_naks = sum(sum(r[1:]) for r in rows)
+        data_pkts_lower_bound = 1400  # ~2 MB of MSS packets
+        # "data loss was minimal; consequently very few NAKs"
+        assert total_naks < data_pkts_lower_bound * 0.05, panel

@@ -1,0 +1,19 @@
+"""Figure 12: H-RMC throughput on the 100 Mbps network (memory tests)."""
+
+from benchmarks.conftest import column, table
+
+
+def test_fig12(regen):
+    report = regen("fig12")
+    saturated = {}
+    for panel in ("(a) small file", "(b) large file"):
+        _, rows = table(report, panel)
+        for rcv_idx in (1, 2, 3):
+            tputs = column(rows, rcv_idx)
+            # strong buffer dependence: small buffers stop-and-wait
+            assert tputs[-1] > 1.5 * tputs[0], panel
+            # monotone up to saturation (allow small wiggle)
+            assert tputs[0] < max(tputs), panel
+        saturated[panel] = max(column(rows, 1))
+    # "throughput is higher for larger transfers"
+    assert saturated["(b) large file"] >= saturated["(a) small file"]

@@ -1,0 +1,15 @@
+"""Figure 14: characteristic groups and test-case definitions."""
+
+from benchmarks.conftest import table
+
+
+def test_fig14(regen):
+    report = regen("fig14")
+    _, groups = table(report, "(a) characteristic groups")
+    assert [tuple(g) for g in groups] == [
+        ("A", "2 ms", "0.005%"),
+        ("B", "20 ms", "0.5%"),
+        ("C", "100 ms", "2%"),
+    ]
+    _, cases = table(report, "(b) test cases")
+    assert len(cases) == 5

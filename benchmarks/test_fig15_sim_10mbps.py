@@ -1,0 +1,31 @@
+"""Figure 15: simulated 10 Mbps study -- throughput and rate-reduce
+requests for Tests 1-5 with 10 receivers, plus the many-receiver run."""
+
+from benchmarks.conftest import column, table
+
+
+def test_fig15(regen):
+    report = regen("fig15")
+    _, tput = table(report, "(a) throughput")
+    # use the largest buffer row; columns: buffer, Test1..Test5
+    last = tput[-1]
+    t1, t2, t3, t4, t5 = last[1], last[2], last[3], last[4], last[5]
+    assert t1 > t2 > t3, "Test 1 > Test 2 > Test 3 ordering"
+    # Tests 4 and 5 sit near the wide-area level, below the pure-MAN run
+    assert t4 < t2 and t5 < t2
+    assert t4 < (t2 + t3) / 2 + 0.5
+    # throughput grows with buffer size in every test
+    for col in range(1, 6):
+        series = column(tput, col)
+        assert series[-1] >= series[0]
+
+    _, rr = table(report, "(b) rate reduce requests")
+    # the lossy environments generate rate requests; the LAN-like barely
+    lossy_total = sum(sum(r[2:]) for r in rr)
+    lan_total = sum(r[1] for r in rr)
+    assert lossy_total > lan_total
+
+    _, many = table(report, "(c) throughput")
+    many_last = many[-1]
+    # modest decrease vs 10 receivers (not a collapse)
+    assert many_last[1] > 0.4 * t1

@@ -1,0 +1,19 @@
+"""Figure 16: simulated 100 Mbps study -- throughput and rate-reduce
+requests, 10 receivers, Tests 1-3."""
+
+from benchmarks.conftest import column, table
+
+
+def test_fig16(regen):
+    report = regen("fig16")
+    _, tput = table(report, "(a) throughput")
+    last = tput[-1]
+    t1, t2, t3 = last[1], last[2], last[3]
+    assert t1 > t2 > t3, "Test 1 > Test 2 > Test 3 at 100 Mbps"
+    # buffer size still helps
+    for col in (1, 2, 3):
+        series = column(tput, col)
+        assert series[-1] >= series[0]
+
+    _, rr = table(report, "(b) rate reduce requests")
+    assert sum(sum(r[1:]) for r in rr) >= 0  # table regenerates

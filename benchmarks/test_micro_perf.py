@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Unlike the figure benches (one shot per paper artifact), these run
+multiple rounds and track the raw speed of the machinery: engine event
+throughput, timer churn, and full-stack packets/second.  Useful for
+catching performance regressions in the simulator.
+"""
+
+from repro.harness.runner import run_transfer
+from repro.sim.engine import Simulator
+from repro.sim.timer import Timer
+from repro.workloads.scenarios import build_lan
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run cost of 20k chained events."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(n):
+            if n:
+                sim.call_after(1, chain, n - 1)
+
+        sim.call_after(0, chain, 20_000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 20_001
+
+
+def test_timer_rearm_churn(benchmark):
+    """mod_timer/del_timer churn (the protocol's hottest timer path)."""
+
+    def run():
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        for i in range(10_000):
+            t.mod_after(100)   # re-arm cancels the previous entry
+        t.del_timer()
+        sim.run()
+        return t.fired_count
+
+    fired = benchmark(run)
+    assert fired == 0
+
+
+def test_full_stack_packet_rate(benchmark):
+    """End-to-end simulated-packet throughput of the whole stack
+    (engine + network + kernel + H-RMC) for a 1 MB LAN transfer."""
+
+    def run():
+        sc = build_lan(1, 100e6, seed=99)
+        res = run_transfer(sc, nbytes=1_000_000, sndbuf=512 * 1024)
+        assert res.ok
+        return res.sender_stats.data_pkts_sent
+
+    pkts = benchmark(run)
+    assert pkts >= 685  # ~1 MB of MSS segments

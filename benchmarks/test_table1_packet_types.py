@@ -1,0 +1,15 @@
+"""Table 1: the packet-type inventory."""
+
+from repro.core.types import PacketType
+
+from benchmarks.conftest import table
+
+
+def test_table1(regen):
+    report = regen("table1")
+    headers, rows = table(report, "Packet types")
+    assert len(rows) == 11                      # nine RMC + two H-RMC
+    names = {r[0] for r in rows}
+    assert names == {t.name for t in PacketType}
+    hrmc_only = {r[0] for r in rows if r[1] == "H-RMC only"}
+    assert hrmc_only == {"UPDATE", "PROBE"}

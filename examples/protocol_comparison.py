@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Compare H-RMC against the three classic reliable-multicast families
+and a TCP-like unicast reference, on identical hardware.
+
+This is the paper's section-1 taxonomy made runnable: ACK-based
+(feedback implosion), NAK-based (RMC: lean but unguaranteed),
+polling-based (sender-controlled feedback, slow recovery), H-RMC (the
+hybrid), and n sequential TCP-like streams.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.harness.runner import PROTOCOLS, run_transfer
+from repro.stats.report import format_table
+from repro.workloads.scenarios import build_lan
+
+NBYTES = 2_000_000
+RECEIVERS = 3
+
+
+def main() -> None:
+    rows = []
+    for proto in PROTOCOLS:
+        scenario = build_lan(RECEIVERS, 10e6, seed=5)
+        res = run_transfer(scenario, nbytes=NBYTES, protocol=proto,
+                           sndbuf=256 * 1024)
+        rows.append([
+            proto,
+            round(res.throughput_mbps, 2),
+            res.feedback_total,
+            res.sender_stats.retrans_pkts,
+            round(res.release_complete_pct, 1) if proto in ("hrmc", "rmc")
+            else "-",
+            "yes" if res.ok else "NO",
+        ])
+    print(format_table(
+        f"{NBYTES / 1e6:g} MB to {RECEIVERS} receivers on a 10 Mbps LAN",
+        ["protocol", "Mbps", "feedback pkts", "retrans", "info %",
+         "reliable"], rows))
+    print("\nH-RMC matches RMC/ACK throughput with two orders of "
+          "magnitude less\nfeedback than ACK-based, while (unlike RMC) "
+          "guaranteeing delivery;\nthe TCP-like reference pays the "
+          "n-unicast penalty (paper section 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Bulk software distribution: the paper's motivating disk-to-disk
+workload.
+
+A build server pushes an 8 MB release image to a rack of machines that
+write it to local disk.  Disk jitter at the receivers slows their
+applications, the receive windows fill, and the rate-based flow control
+visibly adapts -- exactly the Figure 11 dynamics.
+
+Run:  python examples/software_distribution.py
+"""
+
+from repro.harness.runner import run_transfer
+from repro.stats.report import format_table
+from repro.workloads.scenarios import build_lan
+
+IMAGE_BYTES = 8_000_000
+MACHINES = 3
+
+
+def main() -> None:
+    rows = []
+    for sndbuf_k in (64, 256, 1024):
+        scenario = build_lan(MACHINES, 10e6, seed=7)
+        res = run_transfer(scenario, nbytes=IMAGE_BYTES,
+                           sndbuf=sndbuf_k * 1024, disk=True)
+        stats = res.sender_stats
+        rows.append([
+            f"{sndbuf_k}K",
+            round(res.throughput_mbps, 2),
+            stats.rate_requests_rcvd + stats.urgent_requests_rcvd,
+            stats.naks_rcvd,
+            "yes" if res.ok else "NO",
+        ])
+    print(format_table(
+        f"Distributing {IMAGE_BYTES / 1e6:g} MB to {MACHINES} machines "
+        f"(disk-to-disk, 10 Mbps)",
+        ["kernel buffer", "Mbps", "rate requests", "NAKs", "complete"],
+        rows))
+    print("\nBigger kernel buffers absorb receiver disk stalls: fewer "
+          "rate requests,\nhigher throughput (paper Figures 10c/d, 11).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Distance-education scenario: one source, receivers spread across
+local, metropolitan and wide-area networks.
+
+Reproduces a slice of the paper's simulation study (Figures 14-15):
+receivers are placed into characteristic groups A (LAN-like), B
+(MAN-like) and C (WAN-like), and the protocol adapts to the least
+capable receiver in the mix.
+
+Run:  python examples/wan_simulation.py
+"""
+
+from repro.harness.runner import run_transfer
+from repro.stats.report import format_table
+from repro.workloads.groups import TEST_CASES, expand_test_case
+from repro.workloads.scenarios import build_wan
+
+NBYTES = 1_000_000
+RECEIVERS = 10
+
+
+def main() -> None:
+    rows = []
+    for test in sorted(TEST_CASES):
+        groups = expand_test_case(test, RECEIVERS)
+        scenario = build_wan(groups, 10e6, seed=11)
+        res = run_transfer(scenario, nbytes=NBYTES, sndbuf=512 * 1024)
+        mix = " + ".join(f"{frac:.0%} {g.name}"
+                         for g, frac in TEST_CASES[test])
+        rows.append([
+            f"Test {test}", mix,
+            round(res.throughput_mbps, 2),
+            res.sender_stats.naks_rcvd,
+            round(res.release_complete_pct, 1),
+            "yes" if res.ok else "NO",
+        ])
+    print(format_table(
+        f"{NBYTES / 1e6:g} MB to {RECEIVERS} receivers, 10 Mbps backbone "
+        f"(simulated WAN)",
+        ["test", "receiver mix", "Mbps", "NAKs", "info %", "complete"],
+        rows))
+    print("\nThroughput orders Test 1 > 2 > 3, with mixed groups pinned "
+          "near the\nslowest member -- H-RMC adapts to the least capable "
+          "receiver (Fig. 15).")
+
+
+if __name__ == "__main__":
+    main()

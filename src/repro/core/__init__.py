@@ -1,0 +1,34 @@
+"""H-RMC: the paper's primary contribution.
+
+A hybrid reliable multicast transport that is primarily NAK-based but
+adds three mechanisms so a finite kernel send buffer never compromises
+reliability:
+
+* per-receiver membership state (IP address + next expected sequence
+  number, kept in a hash table and doubly linked list),
+* periodic receiver UPDATE messages with a dynamically adapted period,
+* sender PROBE polling of any receiver whose state is unknown at
+  buffer-release time -- the window never advances past data a current
+  member still lacks.
+
+Flow control combines a rate-based component (slow start / congestion
+avoidance / halving on NAKs and warning rate requests / a full stop on
+urgent requests) with window-based rules over the send and receive
+sequence spaces.
+"""
+
+from repro.core.config import HRMCConfig
+from repro.core.types import PacketType, URG, FIN
+from repro.core.protocol import HRMCTransport, open_hrmc_socket
+from repro.core.header import Header, checksum
+
+__all__ = [
+    "HRMCConfig",
+    "PacketType",
+    "URG",
+    "FIN",
+    "HRMCTransport",
+    "open_hrmc_socket",
+    "Header",
+    "checksum",
+]

@@ -1,0 +1,97 @@
+"""The 20-byte RMC/H-RMC packet header (paper Figure 1).
+
+Layout (network byte order)::
+
+    0       2       4               8               12      14      16
+    +-------+-------+---------------+---------------+-------+---+---+
+    | sport | dport |   sequence    |   rate adv    | length| ck| t |
+    +-------+-------+---------------+---------------+-------+---+---+
+    | tries | type  |  flags (URG/FIN in low bits)  |
+    ... packed as HH I I H H B B H == 20 bytes
+
+The checksum is the Internet ones'-complement checksum over the header
+(with the checksum field zeroed) and, optionally, the payload.  The
+simulation fast path never serializes headers; :class:`Header` exists
+so the wire format is real, tested, and available to tools.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.types import PacketType
+from repro.kernel.skbuff import SKBuff
+
+__all__ = ["Header", "HEADER_LEN", "checksum"]
+
+HEADER_LEN = 20
+_FMT = struct.Struct("!HHIIHHBBH")
+assert _FMT.size == HEADER_LEN
+
+
+def checksum(data: bytes) -> int:
+    """RFC 1071 Internet checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass
+class Header:
+    """Decoded header fields."""
+
+    sport: int
+    dport: int
+    seq: int
+    rate_adv: int
+    length: int
+    cksum: int
+    tries: int
+    ptype: PacketType
+    flags: int
+
+    def pack(self, payload: bytes = b"", *, fill_checksum: bool = True) -> bytes:
+        """Serialize; computes the checksum over header+payload unless
+        ``fill_checksum`` is False (then uses ``self.cksum`` as given)."""
+        ck = self.cksum
+        if fill_checksum:
+            raw = _FMT.pack(self.sport, self.dport, self.seq, self.rate_adv,
+                            self.length, 0, self.tries, int(self.ptype),
+                            self.flags)
+            ck = checksum(raw + payload)
+        return _FMT.pack(self.sport, self.dport, self.seq, self.rate_adv,
+                         self.length, ck, self.tries, int(self.ptype),
+                         self.flags)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Header":
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"short header: {len(data)} bytes")
+        sport, dport, seq, rate, length, ck, tries, ptype, flags = \
+            _FMT.unpack_from(data)
+        return cls(sport, dport, seq, rate, length, ck, tries,
+                   PacketType(ptype), flags)
+
+    def verify(self, data: bytes) -> bool:
+        """True when ``data`` (header+payload) checksums to zero-error."""
+        if len(data) % 2:
+            data += b"\x00"
+        return checksum(data) == 0
+
+    @classmethod
+    def from_skb(cls, skb: SKBuff) -> "Header":
+        return cls(skb.sport, skb.dport, skb.seq, skb.rate_adv, skb.length,
+                   0, skb.tries, PacketType(skb.ptype), skb.flags)
+
+    def to_skb(self) -> SKBuff:
+        return SKBuff(sport=self.sport, dport=self.dport, seq=self.seq,
+                      ptype=int(self.ptype), length=self.length,
+                      rate_adv=self.rate_adv, flags=self.flags,
+                      tries=self.tries)

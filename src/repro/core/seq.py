@@ -1,0 +1,57 @@
+"""32-bit wrap-safe sequence-number arithmetic (TCP-style).
+
+The byte stream is numbered modulo 2**32; comparisons are valid as long
+as the live window spans less than 2**31 bytes, which every
+configuration here satisfies by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SEQ_MASK", "seq_add", "seq_sub", "seq_lt", "seq_leq", "seq_gt",
+           "seq_geq", "seq_between", "seq_max", "seq_min"]
+
+SEQ_MASK = 0xFFFFFFFF
+_HALF = 0x80000000
+
+
+def seq_add(seq: int, delta: int) -> int:
+    """``seq + delta`` modulo 2**32 (delta may be negative)."""
+    return (seq + delta) & SEQ_MASK
+
+
+def seq_sub(a: int, b: int) -> int:
+    """Signed distance ``a - b`` interpreted in the window around ``b``.
+
+    Positive when ``a`` is ahead of ``b``, negative when behind.
+    """
+    diff = (a - b) & SEQ_MASK
+    return diff - (1 << 32) if diff >= _HALF else diff
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_sub(a, b) < 0
+
+
+def seq_leq(a: int, b: int) -> bool:
+    return seq_sub(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_sub(a, b) > 0
+
+
+def seq_geq(a: int, b: int) -> bool:
+    return seq_sub(a, b) >= 0
+
+
+def seq_between(low: int, x: int, high: int) -> bool:
+    """True when ``low <= x < high`` in circular order."""
+    return seq_leq(low, x) and seq_lt(x, high)
+
+
+def seq_max(a: int, b: int) -> int:
+    return a if seq_geq(a, b) else b
+
+
+def seq_min(a: int, b: int) -> int:
+    return a if seq_leq(a, b) else b

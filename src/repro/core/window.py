@@ -1,0 +1,48 @@
+"""Receive-window regions (paper Figure 2).
+
+The receive sequence space is split into regions R1..R4.  The live
+window ``[rcv_wnd, rcv_wnd + rcv_wnd_size)`` covers R2 (received,
+buffered until read) and R3 (receivable now); its *fill level* --
+how far the stream has progressed into the window -- classifies into
+safe, warning and critical regions that drive the receiver's rate
+requests.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.seq import seq_sub
+
+__all__ = ["Region", "classify_fill", "window_fill", "window_empty"]
+
+
+class Region(enum.Enum):
+    SAFE = "safe"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+def window_fill(rcv_wnd: int, high_mark: int) -> int:
+    """Bytes of the window occupied up to ``high_mark`` (typically
+    ``rcv_nxt`` or the highest buffered out-of-order byte)."""
+    return max(0, seq_sub(high_mark, rcv_wnd))
+
+
+def window_empty(rcv_wnd: int, high_mark: int, wnd_size: int) -> int:
+    """Bytes of the window still available past ``high_mark``."""
+    return max(0, wnd_size - window_fill(rcv_wnd, high_mark))
+
+
+def classify_fill(fill: int, wnd_size: int, warn_fill: float,
+                  crit_fill: float) -> Region:
+    """Map a fill level to its region.  Total and monotone: higher fill
+    never maps to a milder region."""
+    if wnd_size <= 0:
+        return Region.CRITICAL
+    frac = fill / wnd_size
+    if frac >= crit_fill:
+        return Region.CRITICAL
+    if frac >= warn_fill:
+        return Region.WARNING
+    return Region.SAFE

@@ -1,0 +1,5 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from repro.harness.runner import TransferResult, run_transfer
+
+__all__ = ["TransferResult", "run_transfer"]

@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    hrmc-experiments --list
+    hrmc-experiments fig10 fig13
+    hrmc-experiments --all
+    hrmc-experiments --all --scale full
+
+(or ``python -m repro.harness.cli``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments",
+        description="Regenerate the tables and figures of the H-RMC "
+                    "paper (SC '99) from the simulation.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (see --list)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--scale", choices=("quick", "full"), default=None,
+                        help="quick = 1:5 scaled transfers (default); "
+                             "full = paper-size 10/40 MB transfers")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    targets = list(EXPERIMENTS) if args.all else args.experiments
+    if not targets:
+        parser.print_usage()
+        return 2
+
+    status = 0
+    for exp_id in targets:
+        started = time.time()
+        try:
+            report = run_experiment(exp_id, args.scale)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            status = 2
+            continue
+        if args.json:
+            print(json.dumps({
+                "id": report.exp_id,
+                "title": report.title,
+                "tables": [{"title": t, "headers": h, "rows": r}
+                           for t, h, r in report.tables],
+                "notes": report.notes,
+                "elapsed_s": round(time.time() - started, 2),
+            }))
+        else:
+            print(report.render())
+            print(f"[{exp_id} completed in {time.time() - started:.1f}s]\n")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

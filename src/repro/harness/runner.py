@@ -1,0 +1,235 @@
+"""Run one multicast file transfer and collect every metric the paper
+reports.
+
+:func:`run_transfer` wires a scenario (from
+:mod:`repro.workloads.scenarios`) to a protocol (H-RMC, RMC, the
+ACK/polling baselines, or the TCP-like unicast reference), runs the
+sender and receiver application processes to completion, and returns a
+:class:`TransferResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.diskmodel import DiskModel
+from repro.apps.filetransfer import AppResult, receiver_app, sender_app
+from repro.baselines.ack import open_ack_socket
+from repro.baselines.polling import open_polling_socket
+from repro.baselines.tcp import TcpLikeTransport
+from repro.core.config import HRMCConfig
+from repro.core.protocol import open_hrmc_socket
+from repro.kernel.payload import PatternPayload
+from repro.kernel.socket_api import Socket
+from repro.rmc import open_rmc_socket
+from repro.sim.engine import US_PER_SEC
+from repro.sim.process import Process
+from repro.stats.metrics import Counters
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["TransferResult", "run_transfer", "PROTOCOLS"]
+
+PROTOCOLS = ("hrmc", "rmc", "ack", "polling", "tcp")
+
+
+@dataclass
+class TransferResult:
+    protocol: str
+    nbytes: int
+    n_receivers: int
+    ok: bool                       # everyone got every byte, verified
+    duration_us: int               # to last receiver's final byte
+    throughput_bps: float
+    sender_stats: Counters
+    receiver_stats: Counters       # aggregated over receivers
+    per_receiver: list[AppResult]
+    release_checks: int = 0
+    release_complete_pct: float = 100.0
+    probes_triggered: int = 0
+    lost_bytes: int = 0            # RMC-mode stream holes
+    reliability_violations: int = 0
+    member_timeouts: int = 0
+    sim_events: int = 0
+    wall_events_per_packet: float = 0.0
+    drop_summary: dict = field(default_factory=dict)
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+    @property
+    def feedback_total(self) -> int:
+        return self.receiver_stats.feedback_total
+
+
+def _open_socket(protocol: str, host, cfg: HRMCConfig, *, sndbuf: int,
+                 rcvbuf: int, n_receivers: int) -> Socket:
+    if protocol == "hrmc":
+        return open_hrmc_socket(host, cfg, sndbuf=sndbuf, rcvbuf=rcvbuf)
+    if protocol == "rmc":
+        return open_rmc_socket(host, cfg, sndbuf=sndbuf, rcvbuf=rcvbuf)
+    if protocol == "ack":
+        return open_ack_socket(host, expected_receivers=n_receivers,
+                               sndbuf=sndbuf, rcvbuf=rcvbuf)
+    if protocol == "polling":
+        return open_polling_socket(host, expected_receivers=n_receivers,
+                                   sndbuf=sndbuf, rcvbuf=rcvbuf)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def run_transfer(scenario: Scenario, *, nbytes: int,
+                 protocol: str = "hrmc",
+                 sndbuf: int = 64 * 1024, rcvbuf: Optional[int] = None,
+                 cfg: Optional[HRMCConfig] = None,
+                 disk: bool = False, chunk: int = 64 * 1024,
+                 verify: str = "offsets", seed: int = 0,
+                 max_sim_s: float = 3600.0) -> TransferResult:
+    """Transfer ``nbytes`` from the scenario's sender to every receiver.
+
+    ``sndbuf`` is the per-socket kernel buffer of the experiments' x
+    axis; ``rcvbuf`` defaults to the same value (the paper varies them
+    together as "the kernel buffer size").
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    rcvbuf = sndbuf if rcvbuf is None else rcvbuf
+    sim = scenario.sim
+    n = scenario.n_receivers
+
+    base = cfg or HRMCConfig()
+    if protocol in ("hrmc", "rmc"):
+        base = base.with_rate_cap(scenario.bandwidth_bps)
+        if protocol == "hrmc" and base.expected_receivers is None:
+            from dataclasses import replace
+            base = replace(base, expected_receivers=n)
+
+    sender_result = AppResult(name="sender")
+    receiver_results = [AppResult(name=f"rcv{i}") for i in range(n)]
+    disks = {}
+    if disk:
+        disks["sender"] = DiskModel(sim, seed=seed, name="sender")
+        for i in range(n):
+            disks[i] = DiskModel(sim, seed=seed, name=f"rcv{i}")
+
+    if protocol == "tcp":
+        sockets = _run_tcp_sequential(scenario, nbytes, sndbuf, rcvbuf,
+                                      sender_result, receiver_results,
+                                      disks, chunk, verify)
+    else:
+        ssock = _open_socket(protocol, scenario.sender, base,
+                             sndbuf=sndbuf, rcvbuf=rcvbuf, n_receivers=n)
+        rsocks = [_open_socket(protocol, h, base, sndbuf=sndbuf,
+                               rcvbuf=rcvbuf, n_receivers=n)
+                  for h in scenario.receivers]
+        for i, rsock in enumerate(rsocks):
+            Process(sim, receiver_app(rsock, group=scenario.group_addr,
+                                      port=scenario.data_port,
+                                      result=receiver_results[i],
+                                      disk=disks.get(i), chunk=chunk,
+                                      verify=verify), name=f"rcv{i}")
+        Process(sim, sender_app(ssock, nbytes, sport=scenario.sender_port,
+                                group=scenario.group_addr,
+                                port=scenario.data_port,
+                                result=sender_result,
+                                disk=disks.get("sender"), chunk=chunk),
+                name="sender")
+        sockets = (ssock, rsocks)
+
+    sim.run(until=round(max_sim_s * US_PER_SEC))
+    return _collect(scenario, protocol, nbytes, sockets, sender_result,
+                    receiver_results)
+
+
+def _run_tcp_sequential(scenario, nbytes, sndbuf, rcvbuf, sender_result,
+                        receiver_results, disks, chunk, verify):
+    """TCP-like reference: n sequential unicast transfers."""
+    sim = scenario.sim
+    sender_socks: list[Socket] = []
+    rsocks: list[Socket] = []
+    procs: list[Process] = []
+    for i, rhost in enumerate(scenario.receivers):
+        rsock = Socket(TcpLikeTransport(rhost, sndbuf=sndbuf,
+                                        rcvbuf=rcvbuf))
+        rsocks.append(rsock)
+        procs.append(Process(
+            sim,
+            receiver_app(rsock, group=rhost.addr,
+                         port=scenario.data_port,
+                         result=receiver_results[i],
+                         disk=disks.get(i), chunk=chunk, verify=verify),
+            name=f"tcp-rcv{i}"))
+
+    def orchestrate():
+        total = 0
+        for i, rhost in enumerate(scenario.receivers):
+            ssock = Socket(TcpLikeTransport(scenario.sender, sndbuf=sndbuf,
+                                            rcvbuf=rcvbuf))
+            sender_socks.append(ssock)
+            one = AppResult(name=f"tcp-snd{i}")
+            proc = Process(sim, sender_app(
+                ssock, nbytes, sport=scenario.sender_port + i,
+                group=rhost.addr, port=scenario.data_port, result=one,
+                disk=disks.get("sender"), chunk=chunk), name=f"tcp-snd{i}")
+            yield from proc.join()
+            total += one.bytes_done
+        sender_result.bytes_done = total
+        sender_result.finished_at_us = sim.now
+
+    Process(sim, orchestrate(), name="tcp-orchestrator")
+    return (sender_socks, rsocks)
+
+
+def _collect(scenario, protocol, nbytes, sockets, sender_result,
+             receiver_results) -> TransferResult:
+    sim = scenario.sim
+    n = scenario.n_receivers
+    ssock, rsocks = sockets
+
+    rstats = Counters()
+    lost = 0
+    for rsock in rsocks:
+        rstats.add(rsock.transport.stats)
+        receiver = getattr(rsock.transport, "receiver", None)
+        if receiver is not None:
+            lost += getattr(receiver, "lost_bytes", 0)
+
+    data_done = [r.data_done_at_us for r in receiver_results if r.done]
+    all_done = (len(data_done) == n and sender_result.done)
+    duration = max(data_done) if data_done else sim.now
+    complete = all(r.bytes_done == nbytes for r in receiver_results)
+    verified = all(r.verified for r in receiver_results)
+    throughput = (nbytes * 8 * US_PER_SEC / duration) if duration > 0 else 0.0
+
+    if protocol == "tcp":
+        sstats = Counters()
+        for s in ssock:
+            sstats.add(s.transport.stats)
+        release_checks, release_pct, probes, violations, timeouts = \
+            0, 100.0, 0, 0, 0
+    else:
+        sstats = ssock.transport.stats
+        sender = getattr(ssock.transport, "sender", None)
+        if sender is not None:
+            release_checks = sender.release.checks
+            release_pct = sender.release.percent_complete
+            probes = sender.release.probes_triggered
+        else:
+            release_checks, release_pct, probes = 0, 100.0, 0
+        violations = sstats.reliability_violations
+        timeouts = sstats.member_timeouts
+
+    pkts = max(1, sstats.data_pkts_sent + sstats.retrans_pkts)
+    return TransferResult(
+        protocol=protocol, nbytes=nbytes, n_receivers=n,
+        ok=bool(all_done and complete and verified and lost == 0),
+        duration_us=duration, throughput_bps=throughput,
+        sender_stats=sstats, receiver_stats=rstats,
+        per_receiver=receiver_results,
+        release_checks=release_checks, release_complete_pct=release_pct,
+        probes_triggered=probes, lost_bytes=lost,
+        reliability_violations=violations, member_timeouts=timeouts,
+        sim_events=sim.events_processed,
+        wall_events_per_packet=sim.events_processed / pkts,
+        drop_summary=scenario.network.drop_summary(),
+    )

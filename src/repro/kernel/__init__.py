@@ -1,0 +1,33 @@
+"""Linux-kernel-like substrate.
+
+The protocol code in this repo is written against the same abstractions
+the paper's kernel driver used: ``sk_buff`` packet buffers and byte
+accounting against ``sk->sndbuf`` / ``sk->rcvbuf``, an INET-``sock``-like
+structure with write/receive/backlog queues, jiffy timers, and a
+blocking BSD socket interface for applications.
+
+The host model charges the paper's measured per-packet processing costs
+(H-RMC ``(10 + 0.025*l)`` us, lower layers 150 us, 300 MHz CPU) against
+a single serializing CPU, so protocol processing, feedback processing
+and application copies all compete for cycles exactly as they did on
+the testbed machines.
+"""
+
+from repro.kernel.payload import Payload, BytesPayload, PatternPayload
+from repro.kernel.skbuff import SKBuff, SkbQueue
+from repro.kernel.sock import Sock
+from repro.kernel.host import Host, CostModel, Transport
+from repro.kernel.socket_api import Socket
+
+__all__ = [
+    "Payload",
+    "BytesPayload",
+    "PatternPayload",
+    "SKBuff",
+    "SkbQueue",
+    "Sock",
+    "Host",
+    "CostModel",
+    "Transport",
+    "Socket",
+]

@@ -1,0 +1,186 @@
+"""Host model: one CPU, one NIC, transport dispatch.
+
+The paper measured, on the 300 MHz testbed machines, an H-RMC protocol
+processing time of ``(10 + 0.025*l)`` microseconds for a packet of
+length ``l`` and a lower-layer (IP + driver + interrupt) time of 150
+microseconds, and injected those delays into its simulator's host
+processes.  We do the same, with one refinement that the serialized
+host process implies: all processing -- transmit-side protocol work,
+receive-side protocol work, and application copies -- competes for a
+single CPU.  On the receive path the full ``150 + (10 + 0.025*l)`` cost
+is charged before the protocol sees a packet (interrupt + IP + H-RMC
+all serialize); on the transmit path only the protocol cost is charged,
+since the lower-layer work overlaps with NIC DMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.net.packet import NetPacket
+from repro.net.nic import NetworkInterface
+from repro.net.topology import Network
+from repro.kernel.skbuff import SKBuff
+from repro.sim.engine import Simulator
+from repro.sim.process import SimEvent
+
+__all__ = ["CostModel", "Host", "Transport"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-packet host processing costs (microseconds)."""
+
+    lower_layer_us: float = 150.0
+    per_packet_us: float = 10.0
+    per_byte_us: float = 0.025
+    copy_per_byte_us: float = 0.005   # recvmsg/sendmsg copy_to/from_user
+    syscall_us: float = 10.0
+
+    def proto_cost(self, nbytes: int) -> int:
+        return round(self.per_packet_us + self.per_byte_us * nbytes)
+
+    def tx_cost(self, nbytes: int) -> int:
+        return self.proto_cost(nbytes)
+
+    def rx_cost(self, nbytes: int) -> int:
+        """Serialized CPU cost of receiving one packet: interrupt + IP
+        (the measured 150 us lower-layer time) plus protocol processing.
+        This is what bounds how fast a host can drain its RX ring --
+        about 5 000 full-size packets/s on the 300 MHz testbed CPU,
+        i.e. roughly 60 Mbps of sustained goodput."""
+        return round(self.lower_layer_us) + self.proto_cost(nbytes)
+
+    def copy_cost(self, nbytes: int) -> int:
+        return round(self.syscall_us + self.copy_per_byte_us * nbytes)
+
+
+class Transport:
+    """Interface a transport protocol presents to the host/socket layer.
+
+    Concrete protocols (H-RMC, RMC, the baselines) subclass this.
+    """
+
+    def segment_received(self, skb: SKBuff, src_addr: str) -> None:
+        raise NotImplementedError
+
+    def unbound(self) -> None:
+        """Called when the host releases the protocol's port."""
+
+
+class Host:
+    """A participating machine: CPU + NIC + bound transports."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 nic: NetworkInterface, *, cost: CostModel | None = None,
+                 name: str = ""):
+        self.sim = sim
+        self.network = network
+        self.nic = nic
+        self.cost = cost or CostModel()
+        self.name = name or f"host-{nic.addr}"
+        self.addr = nic.addr
+        self._cpu_busy_until = 0
+        self._ports: dict[int, Transport] = {}
+        self._pending_xmit = 0   # charged to CPU, not yet on the NIC
+        self.unroutable = 0
+        self.tx_ring_busy_drops = 0
+        self.checksum_drops = 0
+        # optional packet tap: fn(direction, skb, peer_addr, now_us);
+        # used by repro.trace to observe traffic without altering it
+        self.tap: Optional[Callable[[str, SKBuff, str, int], None]] = None
+        nic.rx_handler = self._packet_arrived
+        nic.rx_cost_fn = lambda pkt: self.cost.rx_cost(pkt.seg_bytes)
+        nic.cpu_run = self.cpu_run
+
+    # -- CPU ------------------------------------------------------------
+
+    def cpu_run(self, cost_us: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``cost_us`` of CPU time, serialized with all
+        other work on this host."""
+        start = max(self.sim.now, self._cpu_busy_until)
+        end = start + max(0, int(cost_us))
+        self._cpu_busy_until = end
+        self.sim.call_at(end, fn)
+
+    def cpu_exec(self, cost_us: int) -> Generator:
+        """``yield from host.cpu_exec(c)`` inside an application process
+        consumes ``c`` us of this host's CPU."""
+        done = SimEvent(self.sim)
+        self.cpu_run(cost_us, done.fire)
+        yield done
+
+    @property
+    def cpu_busy_until(self) -> int:
+        return self._cpu_busy_until
+
+    # -- port dispatch -----------------------------------------------
+
+    def bind(self, port: int, transport: Transport) -> None:
+        if port in self._ports:
+            raise ValueError(f"{self.name}: port {port} already bound")
+        self._ports[port] = transport
+
+    def unbind(self, port: int) -> None:
+        transport = self._ports.pop(port, None)
+        if transport is not None:
+            transport.unbound()
+
+    # -- packet I/O ----------------------------------------------------
+
+    def ip_send(self, skb: SKBuff, dst_addr: str) -> None:
+        """Queue a segment for transmission (cf. ``ip_build_and_send``).
+
+        Charges transmit-side CPU, then hands the packet to the NIC.  A
+        full TX ring at hand-off time drops the packet and counts it;
+        well-behaved transmitters avoid this by bounding their bursts
+        with :meth:`tx_space`.
+
+        The wire size is the header plus the *actual payload carried*:
+        control packets (e.g. NAKs) reuse the length field for range
+        bookkeeping but carry no payload.
+        """
+        payload_bytes = skb.payload.length if skb.payload is not None else 0
+        seg_bytes = 20 + payload_bytes
+        pkt = NetPacket(self.addr, dst_addr, skb, seg_bytes,
+                        born_us=self.sim.now)
+        if self.tap is not None:
+            self.tap("tx", skb, dst_addr, self.sim.now)
+        self._pending_xmit += 1
+        self.cpu_run(self.cost.tx_cost(seg_bytes), lambda: self._xmit(pkt))
+
+    def _xmit(self, pkt: NetPacket) -> None:
+        self._pending_xmit -= 1
+        if not self.nic.try_transmit(pkt):
+            self.tx_ring_busy_drops += 1
+
+    def tx_space(self) -> int:
+        """Device-queue slots not yet spoken for -- counts packets that
+        have been charged to the CPU but not yet handed to the NIC, so
+        well-behaved transmitters never overcommit the queue."""
+        return max(0, self.nic.tx_space() - self._pending_xmit)
+
+    def _packet_arrived(self, pkt: NetPacket) -> None:
+        if pkt.corrupted:
+            # the header checksum (RFC 1071, over header+payload)
+            # catches in-flight bit errors; damaged packets are dropped
+            # here exactly like a failed hrmc checksum in the kernel
+            self.checksum_drops += 1
+            return
+        skb = pkt.segment
+        if self.tap is not None:
+            self.tap("rx", skb, pkt.src, self.sim.now)
+        transport = self._ports.get(skb.dport)
+        if transport is None:
+            self.unroutable += 1
+            return
+        transport.segment_received(skb, pkt.src)
+
+    # -- multicast membership ---------------------------------------------
+
+    def join_group(self, group: str) -> None:
+        self.network.join_group(self.nic, group)
+
+    def leave_group(self, group: str) -> None:
+        self.network.leave_group(self.nic, group)

@@ -1,0 +1,100 @@
+"""Payload descriptors.
+
+Protocol correctness depends on sequence numbers and lengths, not on
+payload values, so large transfers carry :class:`PatternPayload`
+descriptors -- (offset, length) views into a deterministic infinite
+byte pattern -- and only materialize bytes when an application actually
+reads them.  Unit tests that verify end-to-end stream integrity use
+either payload kind and compare materialized bytes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Payload", "BytesPayload", "PatternPayload", "pattern_bytes"]
+
+_PATTERN_PERIOD = 65536
+# A fixed pseudo-random-looking pattern; byte i = (i*197 + (i>>8)*73 + 11) & 0xFF
+_PATTERN = bytes(((i * 197 + (i >> 8) * 73 + 11) & 0xFF)
+                 for i in range(_PATTERN_PERIOD))
+
+
+def pattern_bytes(offset: int, length: int) -> bytes:
+    """Materialize ``length`` bytes of the canonical pattern at ``offset``."""
+    if length <= 0:
+        return b""
+    start = offset % _PATTERN_PERIOD
+    end = start + length
+    reps = (end + _PATTERN_PERIOD - 1) // _PATTERN_PERIOD
+    if reps == 1:
+        return _PATTERN[start:end]
+    return (_PATTERN * reps)[start:end]
+
+
+class Payload:
+    """Abstract payload: a length plus lazily-materializable bytes."""
+
+    __slots__ = ()
+
+    @property
+    def length(self) -> int:
+        raise NotImplementedError
+
+    def slice(self, start: int, length: int) -> "Payload":
+        raise NotImplementedError
+
+    def tobytes(self) -> bytes:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.length
+
+
+class BytesPayload(Payload):
+    """Payload backed by real bytes (used by tests and small sends)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        self.data = bytes(data)
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def slice(self, start: int, length: int) -> "BytesPayload":
+        if start < 0 or length < 0 or start + length > len(self.data):
+            raise ValueError(f"bad slice ({start}, {length}) of {len(self.data)}")
+        return BytesPayload(self.data[start:start + length])
+
+    def tobytes(self) -> bytes:
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BytesPayload({len(self.data)}B)"
+
+
+class PatternPayload(Payload):
+    """A zero-copy (offset, length) view into the canonical pattern."""
+
+    __slots__ = ("offset", "_length")
+
+    def __init__(self, offset: int, length: int):
+        if offset < 0 or length < 0:
+            raise ValueError(f"bad pattern view ({offset}, {length})")
+        self.offset = offset
+        self._length = length
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def slice(self, start: int, length: int) -> "PatternPayload":
+        if start < 0 or length < 0 or start + length > self._length:
+            raise ValueError(f"bad slice ({start}, {length}) of {self._length}")
+        return PatternPayload(self.offset + start, length)
+
+    def tobytes(self) -> bytes:
+        return pattern_bytes(self.offset, self._length)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PatternPayload(@{self.offset}, {self._length}B)"

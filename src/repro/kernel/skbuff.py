@@ -1,0 +1,113 @@
+"""Socket buffers (``sk_buff``) and queues (``sk_buff_head``).
+
+An :class:`SKBuff` doubles as the transport segment: the H-RMC header
+fields live directly on it (the on-the-wire encoding is handled by
+:mod:`repro.core.header`).  Segments become logically immutable once
+transmitted -- multicast duplication shares them by reference -- except
+for the sender-side bookkeeping fields (``tries``, ``last_sent_us``),
+which only the sender touches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.kernel.payload import Payload
+
+__all__ = ["SKBuff", "SkbQueue", "SKB_OVERHEAD"]
+
+# Per-buffer bookkeeping overhead charged against sndbuf/rcvbuf, standing
+# in for sizeof(struct sk_buff).
+SKB_OVERHEAD = 64
+
+
+class SKBuff:
+    """One transport segment plus kernel bookkeeping."""
+
+    __slots__ = (
+        "sport", "dport", "seq", "rate_adv", "length", "tries", "ptype",
+        "flags", "payload",
+        # sender-side bookkeeping
+        "first_sent_us", "last_sent_us", "retrans_pending",
+        "release_checked",
+    )
+
+    def __init__(self, *, sport: int, dport: int, seq: int, ptype: int,
+                 length: int = 0, rate_adv: int = 0, flags: int = 0,
+                 tries: int = 0, payload: Optional[Payload] = None):
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq & 0xFFFFFFFF
+        self.rate_adv = rate_adv & 0xFFFFFFFF
+        self.length = length
+        self.tries = tries
+        self.ptype = ptype
+        self.flags = flags
+        self.payload = payload
+        self.first_sent_us = -1
+        self.last_sent_us = -1
+        self.retrans_pending = False
+        self.release_checked = False
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number one past the last byte of this segment."""
+        return (self.seq + self.length) & 0xFFFFFFFF
+
+    @property
+    def truesize(self) -> int:
+        """Bytes charged against a socket buffer for this skb."""
+        return self.length + SKB_OVERHEAD
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SKBuff(type={self.ptype}, seq={self.seq}, "
+                f"len={self.length}, tries={self.tries})")
+
+
+class SkbQueue:
+    """``sk_buff_head``: a FIFO of skbs with byte accounting."""
+
+    def __init__(self, name: str = ""):
+        self._q: deque[SKBuff] = deque()
+        self.name = name
+        self.bytes = 0      # sum of truesize
+        self.data_bytes = 0  # sum of payload lengths
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    def __iter__(self) -> Iterator[SKBuff]:
+        return iter(self._q)
+
+    def peek(self) -> Optional[SKBuff]:
+        return self._q[0] if self._q else None
+
+    def peek_tail(self) -> Optional[SKBuff]:
+        return self._q[-1] if self._q else None
+
+    def enqueue(self, skb: SKBuff) -> None:
+        self._q.append(skb)
+        self.bytes += skb.truesize
+        self.data_bytes += skb.length
+
+    def dequeue(self) -> Optional[SKBuff]:
+        if not self._q:
+            return None
+        skb = self._q.popleft()
+        self.bytes -= skb.truesize
+        self.data_bytes -= skb.length
+        return skb
+
+    def requeue_front(self, skb: SKBuff) -> None:
+        self._q.appendleft(skb)
+        self.bytes += skb.truesize
+        self.data_bytes += skb.length
+
+    def clear(self) -> None:
+        self._q.clear()
+        self.bytes = 0
+        self.data_bytes = 0

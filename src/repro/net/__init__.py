@@ -1,0 +1,33 @@
+"""Best-effort network substrate.
+
+Models the pieces beneath the transport protocol: an IP-multicast-capable
+best-effort datagram network built from shared-medium Ethernet links
+(the experimental testbed), point-to-point pipes and routers with an
+assigned network speed, queue size and loss rate (the CSIM simulation
+topology of the paper), and network interfaces with a finite transmit
+ring (the mechanism behind the paper's Figure 13 NAK observations).
+"""
+
+from repro.net.addr import Endpoint, is_multicast, mcast_addr, host_addr
+from repro.net.packet import NetPacket, IP_OVERHEAD, LINK_OVERHEAD
+from repro.net.link import SharedLink
+from repro.net.nic import NetworkInterface
+from repro.net.router import Pipe, Router
+from repro.net.topology import Network, EthernetLanTopology, WanTreeTopology
+
+__all__ = [
+    "Endpoint",
+    "is_multicast",
+    "mcast_addr",
+    "host_addr",
+    "NetPacket",
+    "IP_OVERHEAD",
+    "LINK_OVERHEAD",
+    "SharedLink",
+    "NetworkInterface",
+    "Pipe",
+    "Router",
+    "Network",
+    "EthernetLanTopology",
+    "WanTreeTopology",
+]

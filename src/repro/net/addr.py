@@ -1,0 +1,56 @@
+"""IPv4-style addressing helpers.
+
+Addresses are dotted-quad strings.  Class-D addresses (224.0.0.0 --
+239.255.255.255) are multicast, exactly as in IP.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Endpoint", "is_multicast", "mcast_addr", "host_addr", "addr_hash"]
+
+
+class Endpoint(NamedTuple):
+    """A transport endpoint: (IPv4 address, port)."""
+
+    addr: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.addr}:{self.port}"
+
+
+def _first_octet(addr: str) -> int:
+    dot = addr.find(".")
+    if dot <= 0:
+        raise ValueError(f"malformed address {addr!r}")
+    return int(addr[:dot])
+
+
+def is_multicast(addr: str) -> bool:
+    """True for class-D (224/4) addresses."""
+    return 224 <= _first_octet(addr) <= 239
+
+
+def mcast_addr(group: int) -> str:
+    """A multicast group address; ``group`` selects distinct groups."""
+    if not 0 <= group <= 0xFFFF:
+        raise ValueError(f"group id {group} out of range")
+    return f"224.1.{group >> 8}.{group & 0xFF}"
+
+
+def host_addr(site: int, host: int) -> str:
+    """A unicast host address within a numbered site."""
+    if not (0 <= site <= 255 and 1 <= host <= 0xFFFF):
+        raise ValueError(f"bad site/host ({site}, {host})")
+    return f"10.{site}.{host >> 8}.{host & 0xFF}"
+
+
+def addr_hash(addr: str, buckets: int) -> int:
+    """Stable hash of an address into ``buckets`` slots (for the
+    membership hash table; must not depend on PYTHONHASHSEED)."""
+    acc = 0
+    for part in addr.split("."):
+        acc = (acc * 257 + int(part)) & 0xFFFFFFFF
+    return acc % buckets

@@ -1,0 +1,79 @@
+"""Shared-medium Ethernet link.
+
+Models the testbed's single Ethernet segment: every attached interface
+hears every frame; transmission is serialized on the medium (an
+idealised CSMA -- no collisions, first-come first-served arbitration),
+and the sender does not receive its own frame.
+
+The link is a pure medium: queueing happens in the NIC transmit rings,
+which ask the link for the next free slot via :meth:`reserve`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Simulator, US_PER_SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.nic import NetworkInterface
+    from repro.net.packet import NetPacket
+
+__all__ = ["SharedLink"]
+
+
+class SharedLink:
+    """A broadcast Ethernet segment with finite bandwidth.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Raw medium speed (10e6 or 100e6 in the paper's testbed).
+    prop_delay_us:
+        One-way propagation delay across the segment.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float,
+                 prop_delay_us: int = 5, name: str = "eth0"):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.prop_delay_us = int(prop_delay_us)
+        self.name = name
+        self._nics: list["NetworkInterface"] = []
+        self._busy_until: int = 0
+        self.frames_carried = 0
+        self.bytes_carried = 0
+
+    def attach(self, nic: "NetworkInterface") -> None:
+        self._nics.append(nic)
+
+    def tx_time_us(self, pkt: "NetPacket") -> int:
+        return max(1, round(pkt.wire_bits * US_PER_SEC / self.bandwidth_bps))
+
+    def reserve(self, pkt: "NetPacket") -> tuple[int, int]:
+        """Claim the medium for ``pkt``.
+
+        Returns ``(start_us, end_us)`` of the transmission slot.  The
+        caller (a NIC ring) must not submit its next frame before
+        ``end_us``.
+        """
+        start = max(self.sim.now, self._busy_until)
+        end = start + self.tx_time_us(pkt)
+        self._busy_until = end
+        return start, end
+
+    def broadcast(self, pkt: "NetPacket", sender: "NetworkInterface",
+                  end_us: int) -> None:
+        """Deliver ``pkt`` to every other interface after propagation."""
+        self.frames_carried += 1
+        self.bytes_carried += pkt.wire_bytes
+        arrive = end_us + self.prop_delay_us
+        for nic in self._nics:
+            if nic is not sender:
+                self.sim.call_at(arrive, nic.medium_deliver, pkt.fork())
+
+    @property
+    def utilization_bytes(self) -> int:
+        return self.bytes_carried

@@ -1,0 +1,203 @@
+"""Network interface model.
+
+Reproduces the two behaviours of real 1999-era cards that matter to the
+paper's results:
+
+* **Transmit path** -- a finite device queue (Linux ``txqueuelen``,
+  ~100 packets) drained at line rate.  The transmitter checks queue
+  space per packet, so a full queue back-pressures the protocol rather
+  than dropping, and in-flight data stays bounded.
+* **Receive path** -- a finite RX ring drained by *host CPU*
+  processing (150 us lower-layer + protocol cost per packet, from the
+  paper's measurements).  When data arrives faster than the host can
+  drain the ring, packets are dropped.  On a 100 Mbps wire a sustained
+  back-to-back run longer than ~3 MB overflows a 768-slot ring, which
+  reproduces the paper's Figure 13: NAKs appear only once send buffers
+  exceed 1024 KB, and never at 10 Mbps where the wire rate is below the
+  host's drain rate.
+
+The interface also performs IP-multicast filtering (it accepts frames
+for its unicast address and for any group it has joined) and can apply
+an uncorrelated loss rate (the "network interface process" loss of the
+paper's simulation study).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, Protocol
+
+from repro.net.addr import is_multicast
+from repro.net.packet import NetPacket
+from repro.sim.engine import Simulator
+from repro.sim.rng import substream
+
+__all__ = ["NetworkInterface", "MediumPort"]
+
+
+class MediumPort(Protocol):
+    """What a NIC needs from its attachment (shared link or pipe)."""
+
+    def reserve(self, pkt: NetPacket) -> tuple[int, int]: ...
+
+    def broadcast(self, pkt: NetPacket, sender: "NetworkInterface",
+                  end_us: int) -> None: ...
+
+
+class NetworkInterface:
+    """A host's network interface.
+
+    Parameters
+    ----------
+    rx_loss_rate:
+        Probability of silently dropping an otherwise-deliverable
+        incoming packet (the uncorrelated 10 % share of group loss in
+        the simulation study).
+    tx_ring / rx_ring:
+        Ring sizes in packets.
+    rx_delay_us:
+        Extra fixed hold per delivered packet (the "assigned delay" of
+        the paper's network-interface process).
+    """
+
+    def __init__(self, sim: Simulator, addr: str, *,
+                 tx_ring: int = 100, rx_ring: int = 768,
+                 rx_loss_rate: float = 0.0, rx_delay_us: int = 0,
+                 rx_latency_us: int = 0,
+                 seed: int = 0, name: str = ""):
+        self.sim = sim
+        self.addr = addr
+        self.name = name or f"nic-{addr}"
+        self.tx_ring_cap = int(tx_ring)
+        self.rx_ring_cap = int(rx_ring)
+        self.rx_loss_rate = float(rx_loss_rate)
+        self.rx_delay_us = int(rx_delay_us)
+        # pipelined DMA/interrupt latency: delays delivery into the RX
+        # ring without consuming ring slots or CPU (order-preserving)
+        self.rx_latency_us = int(rx_latency_us)
+        self._rng = substream(seed, f"nic:{addr}")
+        self._port: Optional[MediumPort] = None
+        self._tx_queue: deque[NetPacket] = deque()
+        self._tx_active = False
+        self._groups: set[str] = set()
+        self._rx_queue: deque[NetPacket] = deque()
+        self._rx_active = False
+        # set by the owning Host
+        self.rx_handler: Optional[Callable[[NetPacket], None]] = None
+        self.rx_cost_fn: Optional[Callable[[NetPacket], int]] = None
+        self.cpu_run: Optional[Callable[[int, Callable[[], None]], None]] = None
+        # counters
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.rx_ring_drops = 0
+        self.rx_loss_drops = 0
+        self.filtered = 0
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, port: MediumPort) -> None:
+        self._port = port
+
+    def join_group(self, group: str) -> None:
+        self._groups.add(group)
+
+    def leave_group(self, group: str) -> None:
+        self._groups.discard(group)
+
+    def in_group(self, group: str) -> bool:
+        return group in self._groups
+
+    # -- transmit path ---------------------------------------------------
+
+    def tx_space(self) -> int:
+        """Free TX-ring slots; the transmitter defers when this is 0."""
+        return self.tx_ring_cap - len(self._tx_queue)
+
+    def try_transmit(self, pkt: NetPacket) -> bool:
+        """Queue a packet for transmission.  Returns False (and accepts
+        nothing) when the ring is full -- the caller must retry later,
+        mirroring driver back-pressure."""
+        if self._port is None:
+            raise RuntimeError(f"{self.name} not attached to a medium")
+        if len(self._tx_queue) >= self.tx_ring_cap:
+            return False
+        self._tx_queue.append(pkt)
+        if not self._tx_active:
+            self._tx_active = True
+            self._tx_next()
+        return True
+
+    def _tx_next(self) -> None:
+        if not self._tx_queue:
+            self._tx_active = False
+            return
+        pkt = self._tx_queue[0]
+        start, end = self._port.reserve(pkt)
+        self.sim.call_at(end, self._tx_done, pkt, end)
+
+    def _tx_done(self, pkt: NetPacket, end_us: int) -> None:
+        self._tx_queue.popleft()
+        self.tx_packets += 1
+        self.tx_bytes += pkt.wire_bytes
+        # stamp wire-departure time on the segment: "most recently sent"
+        # in the window-release rule means when the packet left the host,
+        # not when it entered the device queue
+        try:
+            pkt.segment.last_sent_us = self.sim.now
+        except AttributeError:
+            pass
+        self._port.broadcast(pkt, self, end_us)
+        self._tx_next()
+
+    # -- receive path ------------------------------------------------
+
+    def medium_deliver(self, pkt: NetPacket) -> None:
+        """Called by the medium when a frame passes this interface."""
+        if pkt.dst != self.addr:
+            if not (is_multicast(pkt.dst) and pkt.dst in self._groups):
+                self.filtered += 1
+                return
+        if self.rx_loss_rate > 0.0 and self._rng.random() < self.rx_loss_rate:
+            self.rx_loss_drops += 1
+            return
+        if self.rx_latency_us:
+            self.sim.call_after(self.rx_latency_us, self._rx_enqueue, pkt)
+        else:
+            self._rx_enqueue(pkt)
+
+    def _rx_enqueue(self, pkt: NetPacket) -> None:
+        if len(self._rx_queue) >= self.rx_ring_cap:
+            self.rx_ring_drops += 1
+            return
+        self._rx_queue.append(pkt)
+        if not self._rx_active:
+            self._rx_active = True
+            self._rx_next()
+
+    def _rx_next(self) -> None:
+        if not self._rx_queue:
+            self._rx_active = False
+            return
+        pkt = self._rx_queue[0]
+        if self.rx_delay_us:
+            # the "assigned delay" of the paper's network-interface process
+            self.sim.call_after(self.rx_delay_us, self._rx_process, pkt)
+        else:
+            self._rx_process(pkt)
+
+    def _rx_process(self, pkt: NetPacket) -> None:
+        cost = self.rx_cost_fn(pkt) if self.rx_cost_fn else 0
+        if self.cpu_run is not None:
+            self.cpu_run(cost, lambda p=pkt: self._rx_done(p))
+        else:
+            self.sim.call_after(cost, self._rx_done, pkt)
+
+    def _rx_done(self, pkt: NetPacket) -> None:
+        self._rx_queue.popleft()
+        self.rx_packets += 1
+        self.rx_bytes += pkt.wire_bytes
+        if self.rx_handler is not None:
+            self.rx_handler(pkt)
+        self._rx_next()

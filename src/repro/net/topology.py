@@ -1,0 +1,202 @@
+"""Topology builders.
+
+Two network shapes cover everything in the paper's evaluation:
+
+* :class:`EthernetLanTopology` -- the experimental testbed: every host
+  on one shared 10/100 Mbps Ethernet segment (Figures 10-13).
+* :class:`WanTreeTopology` -- the simulation study: the sender behind a
+  loss-free backbone, receivers partitioned into *characteristic
+  groups*, each behind its own router carrying the group's delay and
+  90 % of its loss; the remaining 10 % is uncorrelated at each
+  receiver's interface (Figures 3, 15, 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import SharedLink
+from repro.net.nic import NetworkInterface
+from repro.net.router import Pipe, Router
+from repro.sim.engine import Simulator
+
+__all__ = ["Network", "EthernetLanTopology", "WanTreeTopology", "GroupSpec"]
+
+
+class Network:
+    """Base: a registry of interfaces plus multicast join plumbing."""
+
+    def __init__(self, sim: Simulator, seed: int = 0):
+        self.sim = sim
+        self.seed = seed
+        self.nics: dict[str, NetworkInterface] = {}
+
+    def register(self, nic: NetworkInterface) -> NetworkInterface:
+        if nic.addr in self.nics:
+            raise ValueError(f"duplicate interface address {nic.addr}")
+        self.nics[nic.addr] = nic
+        return nic
+
+    def join_group(self, nic: NetworkInterface, group: str) -> None:
+        nic.join_group(group)
+
+    def leave_group(self, nic: NetworkInterface, group: str) -> None:
+        nic.leave_group(group)
+
+    def drop_summary(self) -> dict[str, int]:
+        """Aggregate drop counters across the fabric."""
+        summary = {"nic_rx_ring": 0, "nic_rx_loss": 0}
+        for nic in self.nics.values():
+            summary["nic_rx_ring"] += nic.rx_ring_drops
+            summary["nic_rx_loss"] += nic.rx_loss_drops
+        return summary
+
+
+class EthernetLanTopology(Network):
+    """All hosts on one shared Ethernet segment."""
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float, *,
+                 prop_delay_us: int = 5, seed: int = 0,
+                 tx_ring: int = 100, rx_ring: int = 768):
+        super().__init__(sim, seed)
+        self.link = SharedLink(sim, bandwidth_bps, prop_delay_us=prop_delay_us)
+        self.tx_ring = tx_ring
+        self.rx_ring = rx_ring
+
+    def make_nic(self, addr: str) -> NetworkInterface:
+        nic = NetworkInterface(self.sim, addr, tx_ring=self.tx_ring,
+                               rx_ring=self.rx_ring, seed=self.seed)
+        self.link.attach(nic)
+        nic.attach(self.link)
+        return self.register(nic)
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A characteristic group (paper Figure 14a)."""
+
+    name: str
+    delay_us: int       # one-way network delay to receivers in the group
+    loss_rate: float    # total loss rate seen by a receiver in the group
+
+    @property
+    def router_loss(self) -> float:
+        """Correlated share (90 %) applied at the group router."""
+        return self.loss_rate * 0.9
+
+    @property
+    def nic_loss(self) -> float:
+        """Uncorrelated share (10 %) applied per receiver interface."""
+        return self.loss_rate * 0.1
+
+
+class WanTreeTopology(Network):
+    """Sender -- backbone router -- per-group routers -- receivers.
+
+    ``speed_bps`` is the scenario's network speed (10 or 100 Mbps); it
+    is applied to every pipe so serialization matches the paper's
+    "network speed" router attribute.  ``symmetric_loss`` applies each
+    group's correlated loss to the feedback direction as well.
+    """
+
+    LOCAL_DELAY_US = 10        # group router <-> receiver NIC
+    ACCESS_DELAY_US = 10       # sender NIC <-> backbone
+
+    def __init__(self, sim: Simulator, speed_bps: float, *,
+                 queue_limit: int = 2000, seed: int = 0,
+                 symmetric_loss: bool = True,
+                 tx_ring: int = 100, rx_ring: int = 768):
+        super().__init__(sim, seed)
+        self.speed_bps = float(speed_bps)
+        self.queue_limit = int(queue_limit)
+        self.symmetric_loss = symmetric_loss
+        self.tx_ring = tx_ring
+        self.rx_ring = rx_ring
+        self.backbone = Router(sim, loss_rate=0.0, seed=seed, name="backbone")
+        self._group_routers: dict[str, Router] = {}
+        self._group_down: dict[str, Pipe] = {}   # backbone -> group router
+        self._nic_group: dict[str, GroupSpec] = {}   # receiver addr -> spec
+        self._nic_down: dict[str, Pipe] = {}     # group router -> NIC
+        self.sender_nic: NetworkInterface | None = None
+
+    # -- construction ---------------------------------------------------
+
+    def _pipe(self, name: str, *, prop: int, loss: float = 0.0) -> Pipe:
+        return Pipe(self.sim, self.speed_bps, prop_delay_us=prop,
+                    queue_limit=self.queue_limit, loss_rate=loss,
+                    seed=self.seed, name=name)
+
+    def add_sender(self, addr: str) -> NetworkInterface:
+        if self.sender_nic is not None:
+            raise ValueError("sender already added")
+        nic = NetworkInterface(self.sim, addr, tx_ring=self.tx_ring,
+                               rx_ring=self.rx_ring, seed=self.seed)
+        up = self._pipe(f"up:{addr}", prop=self.ACCESS_DELAY_US)
+        up.connect(self.backbone)
+        nic.attach(up)
+        down = self._pipe(f"down:{addr}", prop=self.ACCESS_DELAY_US)
+        down.connect(nic)
+        self.backbone.add_route(addr, down)
+        self.sender_nic = nic
+        return self.register(nic)
+
+    def _ensure_group(self, spec: GroupSpec) -> Router:
+        router = self._group_routers.get(spec.name)
+        if router is None:
+            router = Router(self.sim, loss_rate=spec.router_loss,
+                            seed=self.seed, name=f"gr:{spec.name}")
+            down = self._pipe(f"bb->{spec.name}", prop=spec.delay_us)
+            down.connect(router)
+            up_loss = spec.router_loss if self.symmetric_loss else 0.0
+            up = self._pipe(f"{spec.name}->bb", prop=spec.delay_us,
+                            loss=up_loss)
+            up.connect(self.backbone)
+            router.set_default_route(up)
+            self._group_routers[spec.name] = router
+            self._group_down[spec.name] = down
+        return router
+
+    def add_receiver(self, addr: str, spec: GroupSpec) -> NetworkInterface:
+        router = self._ensure_group(spec)
+        nic = NetworkInterface(self.sim, addr, tx_ring=self.tx_ring,
+                               rx_ring=self.rx_ring,
+                               rx_loss_rate=spec.nic_loss, seed=self.seed)
+        up = self._pipe(f"up:{addr}", prop=self.LOCAL_DELAY_US)
+        up.connect(router)
+        nic.attach(up)
+        down = self._pipe(f"down:{addr}", prop=self.LOCAL_DELAY_US)
+        down.connect(nic)
+        router.add_route(addr, down)
+        self.backbone.add_route(addr, self._group_down[spec.name])
+        self._nic_group[addr] = spec
+        self._nic_down[addr] = down
+        return self.register(nic)
+
+    # -- multicast plumbing ----------------------------------------------
+
+    def join_group(self, nic: NetworkInterface, group: str) -> None:
+        nic.join_group(group)
+        spec = self._nic_group.get(nic.addr)
+        if spec is None:
+            return  # the sender does not receive its own multicast
+        router = self._group_routers[spec.name]
+        router.mcast_subscribe(group, self._nic_down[nic.addr])
+        self.backbone.mcast_subscribe(group, self._group_down[spec.name])
+
+    def leave_group(self, nic: NetworkInterface, group: str) -> None:
+        nic.leave_group(group)
+        spec = self._nic_group.get(nic.addr)
+        if spec is None:
+            return
+        router = self._group_routers[spec.name]
+        router.mcast_unsubscribe(group, self._nic_down[nic.addr])
+        if group not in router._mcast:
+            self.backbone.mcast_unsubscribe(group, self._group_down[spec.name])
+
+    def drop_summary(self) -> dict[str, int]:
+        summary = super().drop_summary()
+        summary["router_loss"] = sum(
+            r.loss_drops for r in self._group_routers.values())
+        summary["pipe_loss"] = 0
+        summary["pipe_queue"] = 0
+        return summary

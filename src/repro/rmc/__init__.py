@@ -1,0 +1,43 @@
+"""The original RMC protocol (paper section 2; reference [15]).
+
+RMC is the purely NAK-based predecessor of H-RMC: anonymous group
+membership, no periodic updates, no probes, and buffer release governed
+only by the MINBUF hold time.  Reliability is therefore *not*
+guaranteed: the sender may release data that a receiver later NAKs, in
+which case it answers with NAK_ERR and both applications are informed
+(the receiver's stream carries a hole, surfaced via
+``transport.receiver.error`` / ``lost_bytes``).
+
+The implementation shares the H-RMC engine, configured through
+:meth:`repro.core.config.HRMCConfig.as_rmc`; this package provides the
+RMC-branded entry points and the configuration preset so experiments
+read naturally.
+"""
+
+from typing import Optional
+
+from repro.core.config import HRMCConfig
+from repro.core.protocol import HRMCTransport
+from repro.kernel.host import Host
+from repro.kernel.socket_api import Socket
+
+__all__ = ["rmc_config", "open_rmc_socket", "RMCTransport"]
+
+
+def rmc_config(base: Optional[HRMCConfig] = None) -> HRMCConfig:
+    """The RMC preset: updates, probes and reliable release disabled."""
+    return (base or HRMCConfig()).as_rmc()
+
+
+class RMCTransport(HRMCTransport):
+    """An RMC socket endpoint (H-RMC engine, RMC feature set)."""
+
+    def __init__(self, host: Host, cfg: Optional[HRMCConfig] = None, **kw):
+        super().__init__(host, rmc_config(cfg), **kw)
+
+
+def open_rmc_socket(host: Host, cfg: Optional[HRMCConfig] = None, *,
+                    sndbuf: int = 64 * 1024,
+                    rcvbuf: int = 64 * 1024) -> Socket:
+    """Create an RMC socket on ``host``."""
+    return Socket(RMCTransport(host, cfg, sndbuf=sndbuf, rcvbuf=rcvbuf))

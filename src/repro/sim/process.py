@@ -1,0 +1,156 @@
+"""Generator-based cooperative processes (CSIM "processes").
+
+The paper's simulator uses CSIM processes for hosts, network interfaces
+and routers.  Protocol code in this repo is event/timer driven (like the
+kernel original), but *application* models -- a sender reading a file
+from disk, a receiver writing one -- are naturally sequential, so they
+are written as generator processes:
+
+.. code-block:: python
+
+    def receiver_app(sock, nbytes):
+        got = 0
+        while got < nbytes:
+            data = yield from sock.recv(65536)
+            got += len(data)
+            yield from disk.write(len(data))
+
+A process generator may ``yield``:
+
+* :class:`Delay` -- sleep for N microseconds,
+* :class:`SimEvent` -- block until the event fires (``event.fire(value)``
+  resumes all waiters; the yielded expression evaluates to the value),
+* another generator via ``yield from`` -- ordinary composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Delay", "SimEvent", "Process", "ProcessKilled"]
+
+
+class Delay:
+    """Yield inside a process to sleep for ``us`` microseconds."""
+
+    __slots__ = ("us",)
+
+    def __init__(self, us: int):
+        if us < 0:
+            raise ValueError(f"negative delay {us}")
+        self.us = int(us)
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator by :meth:`Process.kill`."""
+
+
+class SimEvent:
+    """A one-to-many wake-up point.
+
+    ``fire(value)`` resumes every waiting process at the current time;
+    each waiter's ``yield`` evaluates to ``value``.  Events are reusable:
+    waiters that arrive after a fire block until the next fire.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self._sim = sim
+        self._waiters: list[Process] = []
+        self.name = name
+        self.fire_count = 0
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.call_after(0, proc._resume, value)
+        return len(waiters)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Process:
+    """Drives a generator as a cooperative simulated process."""
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = ""):
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done_event = SimEvent(sim, name=f"{name}.done")
+        self._waiting_on: Optional[SimEvent] = None
+        sim.call_after(0, self._resume, None)
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        try:
+            self._gen.throw(ProcessKilled())
+        except (ProcessKilled, StopIteration):
+            pass
+        self._finish(None, None)
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.result = result
+        self.error = error
+        self.done_event.fire(result)
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except ProcessKilled:
+            self._finish(None, None)
+            return
+        except Exception as exc:  # propagate at join time, don't kill the sim
+            self._finish(None, exc)
+            return
+        if isinstance(yielded, Delay):
+            self._sim.call_after(yielded.us, self._resume, None)
+        elif isinstance(yielded, SimEvent):
+            self._waiting_on = yielded
+            yielded._add_waiter(self)
+        else:
+            self._finish(
+                None,
+                TypeError(
+                    f"process {self.name!r} yielded {type(yielded).__name__}; "
+                    "expected Delay or SimEvent"
+                ),
+            )
+
+    def join(self) -> Generator:
+        """``yield from proc.join()`` inside another process."""
+        if self.alive:
+            yield self.done_event
+        if self.error is not None:
+            raise self.error
+        return self.result

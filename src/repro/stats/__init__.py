@@ -1,0 +1,6 @@
+"""Metrics collection and report formatting."""
+
+from repro.stats.metrics import Counters, ReleaseTracker
+from repro.stats.report import format_table
+
+__all__ = ["Counters", "ReleaseTracker", "format_table"]

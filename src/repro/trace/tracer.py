@@ -1,0 +1,120 @@
+"""Per-host packet capture.
+
+Attaches to the packet tap of :class:`repro.kernel.host.Host` and
+records one :class:`TraceEvent` per segment sent or received by that
+host.  Capture is observational: the protocol under trace is unchanged
+(events are plain records, segments are not copied).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional
+
+from repro.core.types import PacketType
+from repro.kernel.host import Host
+from repro.kernel.skbuff import SKBuff
+
+__all__ = ["TraceEvent", "PacketTracer", "load_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One captured segment."""
+
+    t_us: int
+    host: str
+    direction: str       # "tx" | "rx"
+    peer: str            # destination (tx) or source (rx) address
+    ptype: int
+    seq: int
+    length: int
+    rate_adv: int
+    tries: int
+    flags: int
+
+    @property
+    def type_name(self) -> str:
+        try:
+            return PacketType(self.ptype).name
+        except ValueError:
+            return f"type{self.ptype}"
+
+    @property
+    def is_retransmission(self) -> bool:
+        return self.ptype == PacketType.DATA and self.tries > 1
+
+
+class PacketTracer:
+    """Capture traffic at one or more hosts.
+
+    >>> tracer = PacketTracer()
+    >>> tracer.attach(scenario.sender, *scenario.receivers)
+    >>> ... run the simulation ...
+    >>> events = tracer.events
+    >>> tracer.save("run.trace.jsonl")
+    """
+
+    def __init__(self, *, max_events: Optional[int] = None):
+        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+        self._hosts: list[Host] = []
+
+    def attach(self, *hosts: Host) -> "PacketTracer":
+        for host in hosts:
+            if host.tap is not None:
+                raise RuntimeError(f"{host.name} already has a tap")
+            host.tap = self._make_tap(host)
+            self._hosts.append(host)
+        return self
+
+    def detach(self) -> None:
+        for host in self._hosts:
+            host.tap = None
+        self._hosts.clear()
+
+    def _make_tap(self, host: Host):
+        name = host.addr
+
+        def tap(direction: str, skb: SKBuff, peer: str, now: int) -> None:
+            if self.max_events is not None and \
+                    len(self.events) >= self.max_events:
+                self.dropped += 1
+                return
+            self.events.append(TraceEvent(
+                t_us=now, host=name, direction=direction, peer=peer,
+                ptype=int(skb.ptype), seq=skb.seq, length=skb.length,
+                rate_adv=skb.rate_adv, tries=skb.tries, flags=skb.flags))
+
+        return tap
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write the capture as JSON lines; returns the event count."""
+        with open(path, "w") as fh:
+            for ev in self.events:
+                fh.write(json.dumps(asdict(ev), separators=(",", ":")))
+                fh.write("\n")
+        return len(self.events)
+
+    # -- convenience filters ------------------------------------------------
+
+    def at_host(self, addr: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.host == addr]
+
+    def of_type(self, ptype: PacketType) -> list[TraceEvent]:
+        return [e for e in self.events if e.ptype == int(ptype)]
+
+
+def load_trace(path: str) -> list[TraceEvent]:
+    """Read a JSON-lines capture produced by :meth:`PacketTracer.save`."""
+    out: list[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent(**json.loads(line)))
+    return out

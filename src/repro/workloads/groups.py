@@ -1,0 +1,57 @@
+"""Characteristic groups and test cases (paper Figure 14).
+
+Groups::
+
+    Group   Delay     Loss Rate
+    A       2 ms      0.005 %      (local-area environment)
+    B       20 ms     0.5 %        (metropolitan-area environment)
+    C       100 ms    2 %          (wide-area environment)
+
+Test cases (receiver populations)::
+
+    Test 1  all in A
+    Test 2  all in B
+    Test 3  all in C
+    Test 4  80 % in B, 20 % in C
+    Test 5  20 % in B, 80 % in C
+
+90 % of each group's loss is correlated (applied at the group router,
+before multicast duplication) and 10 % uncorrelated (at each receiver's
+interface), following the Towsley et al. observation the paper cites
+that most loss occurs on tail links.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import GroupSpec
+
+__all__ = ["GROUP_A", "GROUP_B", "GROUP_C", "TEST_CASES",
+           "expand_test_case", "LOSS_BY_ENV"]
+
+GROUP_A = GroupSpec("A", delay_us=2_000, loss_rate=0.00005)
+GROUP_B = GroupSpec("B", delay_us=20_000, loss_rate=0.005)
+GROUP_C = GroupSpec("C", delay_us=100_000, loss_rate=0.02)
+
+#: Figure 14(b): test case -> (group, fraction of receivers)
+TEST_CASES: dict[int, list[tuple[GroupSpec, float]]] = {
+    1: [(GROUP_A, 1.0)],
+    2: [(GROUP_B, 1.0)],
+    3: [(GROUP_C, 1.0)],
+    4: [(GROUP_B, 0.8), (GROUP_C, 0.2)],
+    5: [(GROUP_B, 0.2), (GROUP_C, 0.8)],
+}
+
+#: Loss rates of the Figure 3 simulation study, by environment name.
+LOSS_BY_ENV = {"LAN": 0.00005, "MAN": 0.005, "WAN": 0.02}
+
+
+def expand_test_case(test: int, n_receivers: int) -> list[GroupSpec]:
+    """Expand a test case into one GroupSpec per receiver."""
+    mix = TEST_CASES[test]
+    out: list[GroupSpec] = []
+    for spec, frac in mix:
+        out.extend([spec] * round(frac * n_receivers))
+    # rounding guard: pad/trim with the last group's spec
+    while len(out) < n_receivers:
+        out.append(mix[-1][0])
+    return out[:n_receivers]

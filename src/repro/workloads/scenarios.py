@@ -1,0 +1,88 @@
+"""Scenario builders: a network plus hosts, ready for a transfer.
+
+Two scenario kinds cover the paper's evaluation:
+
+* :func:`build_lan` -- the experimental testbed (shared Ethernet,
+  Figures 10-13),
+* :func:`build_wan` -- the simulation topology (characteristic groups,
+  Figures 3, 15, 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.host import CostModel, Host
+from repro.net.addr import host_addr, mcast_addr
+from repro.net.topology import (EthernetLanTopology, GroupSpec, Network,
+                                WanTreeTopology)
+from repro.sim.engine import Simulator
+
+__all__ = ["Scenario", "LanScenario", "WanScenario", "build_lan",
+           "build_wan"]
+
+SENDER_ADDR = "10.0.0.1"
+
+
+@dataclass
+class Scenario:
+    """A built network with one sender host and N receiver hosts."""
+
+    sim: Simulator
+    network: Network
+    sender: Host
+    receivers: list[Host]
+    bandwidth_bps: float
+    group_addr: str = field(default_factory=lambda: mcast_addr(1))
+    data_port: int = 6000
+    sender_port: int = 5000
+
+    @property
+    def n_receivers(self) -> int:
+        return len(self.receivers)
+
+
+class LanScenario(Scenario):
+    pass
+
+
+class WanScenario(Scenario):
+    pass
+
+
+def build_lan(n_receivers: int, bandwidth_bps: float, *, seed: int = 0,
+              cost: CostModel | None = None) -> LanScenario:
+    """All hosts on one shared Ethernet segment."""
+    sim = Simulator()
+    lan = EthernetLanTopology(sim, bandwidth_bps, seed=seed)
+    sender = Host(sim, lan, lan.make_nic(SENDER_ADDR), cost=cost)
+    receivers = [
+        Host(sim, lan, lan.make_nic(host_addr(0, i + 2)), cost=cost)
+        for i in range(n_receivers)
+    ]
+    return LanScenario(sim=sim, network=lan, sender=sender,
+                       receivers=receivers, bandwidth_bps=bandwidth_bps)
+
+
+def build_wan(group_specs: list[GroupSpec], bandwidth_bps: float, *,
+              seed: int = 0, cost: CostModel | None = None,
+              symmetric_loss: bool = True) -> WanScenario:
+    """Sender behind a backbone; one receiver per entry in
+    ``group_specs``, placed in that entry's characteristic group."""
+    sim = Simulator()
+    wan = WanTreeTopology(sim, bandwidth_bps, seed=seed,
+                          symmetric_loss=symmetric_loss)
+    sender = Host(sim, wan, wan.add_sender(SENDER_ADDR), cost=cost)
+    receivers = []
+    site_count: dict[str, int] = {}
+    site_ids: dict[str, int] = {}
+    for spec in group_specs:
+        if spec.name not in site_ids:
+            site_ids[spec.name] = len(site_ids) + 1
+        site = site_ids[spec.name]
+        idx = site_count.get(spec.name, 0) + 1
+        site_count[spec.name] = idx
+        nic = wan.add_receiver(host_addr(site, idx), spec)
+        receivers.append(Host(sim, wan, nic, cost=cost))
+    return WanScenario(sim=sim, network=wan, sender=sender,
+                       receivers=receivers, bandwidth_bps=bandwidth_bps)

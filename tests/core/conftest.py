@@ -1,0 +1,83 @@
+"""Shared fixtures: a capture-everything fake host for driving the
+sender and receiver state machines directly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HRMCConfig
+from repro.core.receiver import HRMCReceiver
+from repro.core.sender import HRMCSender
+from repro.kernel.host import CostModel
+from repro.kernel.sock import Sock
+from repro.sim.engine import Simulator
+from repro.stats.metrics import Counters
+
+
+class FakeHost:
+    """Quacks like kernel.Host but just records outgoing segments."""
+
+    def __init__(self, sim, addr="10.0.0.1", tx_space=1000):
+        self.sim = sim
+        self.addr = addr
+        self.cost = CostModel()
+        self.sent: list[tuple] = []          # (skb, dst, time)
+        self._tx_space = tx_space
+        self.tx_ring_busy_drops = 0
+        self.joined: list[str] = []
+
+    def ip_send(self, skb, dst):
+        self.sent.append((skb, dst, self.sim.now))
+
+    def tx_space(self):
+        return self._tx_space
+
+    def cpu_run(self, cost, fn):
+        self.sim.call_after(cost, fn)
+
+    def join_group(self, group):
+        self.joined.append(group)
+
+    def leave_group(self, group):
+        self.joined.remove(group)
+
+    # helpers -----------------------------------------------------------
+
+    def sent_of_type(self, ptype):
+        return [(skb, dst) for skb, dst, _ in self.sent
+                if skb.ptype == ptype]
+
+    def clear(self):
+        self.sent.clear()
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fake_host(sim):
+    return FakeHost(sim)
+
+
+def make_sender(sim, host, cfg=None, sndbuf=64 * 1024):
+    cfg = cfg or HRMCConfig()
+    sock = Sock(sim, sndbuf=sndbuf)
+    sock.num = 5000
+    sock.daddr = "224.1.0.1"
+    sock.dport = 6000
+    sender = HRMCSender(host, sock, cfg, Counters())
+    sender.start()
+    return sender
+
+
+def make_receiver(sim, host, cfg=None, rcvbuf=64 * 1024):
+    cfg = cfg or HRMCConfig()
+    sock = Sock(sim, rcvbuf=rcvbuf)
+    sock.num = 6000
+    sock.daddr = "224.1.0.1"
+    sock.dport = 6000
+    receiver = HRMCReceiver(host, sock, cfg, Counters())
+    receiver.start()
+    return receiver

@@ -1,0 +1,24 @@
+"""Cross-protocol determinism: identical seeds must yield identical
+traces for every protocol (the property that makes A/B experiment
+comparisons paired)."""
+
+import pytest
+
+from repro.harness.runner import PROTOCOLS, run_transfer
+from repro.workloads.groups import GROUP_B
+from repro.workloads.scenarios import build_wan
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_protocol_trace_reproducible(protocol):
+    def fingerprint():
+        sc = build_wan([GROUP_B] * 2, 10e6, seed=123)
+        res = run_transfer(sc, nbytes=100_000, protocol=protocol,
+                           sndbuf=128 * 1024, max_sim_s=300)
+        assert res.ok
+        return (res.duration_us, res.sim_events,
+                res.sender_stats.data_pkts_sent,
+                res.sender_stats.retrans_pkts,
+                res.receiver_stats.feedback_total)
+
+    assert fingerprint() == fingerprint()

@@ -1,0 +1,57 @@
+"""Property-based end-to-end fuzzing: random network conditions, random
+buffer sizes, random transfer lengths -- the reliability invariant must
+hold in every case.
+
+Deliberately small transfers keep each example fast; hypothesis
+explores the parameter space (including its corners: tiny buffers,
+nasty loss, odd transfer sizes).
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import HRMCConfig
+from repro.harness.runner import run_transfer
+from repro.net.topology import GroupSpec
+from repro.workloads.scenarios import build_lan, build_wan
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nbytes=st.integers(1, 120_000),
+    sndbuf_k=st.sampled_from([16, 32, 64, 128]),
+    loss_pct=st.floats(0.0, 0.05),
+    delay_ms=st.integers(1, 120),
+    n_receivers=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_hrmc_reliable_under_random_conditions(nbytes, sndbuf_k, loss_pct,
+                                               delay_ms, n_receivers,
+                                               seed):
+    group = GroupSpec("F", delay_us=delay_ms * 1000, loss_rate=loss_pct)
+    sc = build_wan([group] * n_receivers, 10e6, seed=seed)
+    res = run_transfer(sc, nbytes=nbytes, sndbuf=sndbuf_k * 1024,
+                       verify="bytes", max_sim_s=900)
+    assert res.ok, (nbytes, sndbuf_k, loss_pct, delay_ms, n_receivers,
+                    seed, res.lost_bytes,
+                    [r.bytes_done for r in res.per_receiver])
+    assert res.reliability_violations == 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nbytes=st.integers(1, 200_000),
+    mss=st.sampled_from([100, 536, 1000, 1460]),
+    chunk=st.sampled_from([1000, 4096, 64 * 1024]),
+    seed=st.integers(0, 1000),
+)
+def test_hrmc_any_segmentation(nbytes, mss, chunk, seed):
+    """Odd MSS and application chunk sizes must not break reassembly."""
+    sc = build_lan(2, 10e6, seed=seed)
+    cfg = replace(HRMCConfig(), mss=mss)
+    res = run_transfer(sc, nbytes=nbytes, cfg=cfg, sndbuf=64 * 1024,
+                       chunk=chunk, verify="bytes", max_sim_s=300)
+    assert res.ok, (nbytes, mss, chunk, seed)

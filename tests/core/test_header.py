@@ -1,0 +1,99 @@
+"""Unit and property tests for the 20-byte header codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.header import HEADER_LEN, Header, checksum
+from repro.core.types import FIN, URG, PacketType
+from repro.kernel.skbuff import SKBuff
+
+
+def mk(**kw):
+    defaults = dict(sport=5000, dport=6000, seq=12345, rate_adv=125000,
+                    length=1460, cksum=0, tries=1, ptype=PacketType.DATA,
+                    flags=0)
+    defaults.update(kw)
+    return Header(**defaults)
+
+
+def test_header_is_20_bytes():
+    assert HEADER_LEN == 20
+    assert len(mk().pack()) == 20
+
+
+def test_pack_unpack_roundtrip():
+    h = mk(flags=URG | FIN, tries=3, ptype=PacketType.NAK)
+    out = Header.unpack(h.pack())
+    assert out.sport == h.sport
+    assert out.dport == h.dport
+    assert out.seq == h.seq
+    assert out.rate_adv == h.rate_adv
+    assert out.length == h.length
+    assert out.tries == h.tries
+    assert out.ptype == h.ptype
+    assert out.flags == h.flags
+
+
+def test_checksum_verifies_clean_packet():
+    h = mk()
+    payload = b"hello world!"
+    wire = h.pack(payload) + payload
+    assert checksum(wire) == 0
+
+
+def test_checksum_detects_single_bit_flip():
+    h = mk()
+    payload = b"some payload data"
+    wire = bytearray(h.pack(payload) + payload)
+    for bit in (0, 7, 45, len(wire) * 8 - 1):
+        flipped = bytearray(wire)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        assert checksum(bytes(flipped)) != 0
+
+
+def test_short_header_rejected():
+    with pytest.raises(ValueError):
+        Header.unpack(b"\x00" * 10)
+
+
+def test_skb_conversion_roundtrip():
+    skb = SKBuff(sport=1, dport=2, seq=99, ptype=PacketType.UPDATE,
+                 length=0, rate_adv=777, flags=URG, tries=2)
+    h = Header.from_skb(skb)
+    back = h.to_skb()
+    assert back.sport == 1 and back.dport == 2
+    assert back.seq == 99
+    assert back.ptype == PacketType.UPDATE
+    assert back.rate_adv == 777
+    assert back.flags == URG
+    assert back.tries == 2
+
+
+def test_rfc1071_known_vector():
+    # classic example: checksum of 0x0001 0xf203 0xf4f5 0xf6f7
+    data = bytes.fromhex("0001f203f4f5f6f7")
+    assert checksum(data) == (~0xddf2) & 0xFFFF
+
+
+def test_odd_length_padding():
+    assert checksum(b"\x01") == checksum(b"\x01\x00")
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+       st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+       st.integers(0, 0xFFFF), st.integers(0, 0xFF),
+       st.sampled_from(list(PacketType)), st.integers(0, 0xFFFF))
+def test_roundtrip_property(sport, dport, seq, rate, length, tries, ptype,
+                            flags):
+    h = Header(sport, dport, seq, rate, length, 0, tries, ptype, flags)
+    out = Header.unpack(h.pack())
+    assert (out.sport, out.dport, out.seq, out.rate_adv, out.length,
+            out.tries, out.ptype, out.flags) == \
+        (sport, dport, seq, rate, length, tries, ptype, flags)
+
+
+@given(st.binary(min_size=0, max_size=200))
+def test_checksum_self_verifies(payload):
+    h = mk(length=len(payload))
+    wire = h.pack(payload) + payload
+    assert checksum(wire) == 0

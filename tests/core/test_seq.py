@@ -1,0 +1,99 @@
+"""Unit and property tests for wrap-safe sequence arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.seq import (SEQ_MASK, seq_add, seq_between, seq_geq, seq_gt,
+                            seq_leq, seq_lt, seq_max, seq_min, seq_sub)
+
+seqs = st.integers(0, SEQ_MASK)
+small = st.integers(0, 2**30)  # window-scale distances
+
+
+def test_basic_ordering():
+    assert seq_lt(1, 2)
+    assert seq_gt(2, 1)
+    assert seq_leq(2, 2)
+    assert seq_geq(2, 2)
+    assert not seq_lt(2, 2)
+
+
+def test_wraparound_compare():
+    near_top = SEQ_MASK - 10
+    assert seq_lt(near_top, 5)          # 5 is "after" the wrap
+    assert seq_gt(5, near_top)
+    assert seq_sub(5, near_top) == 16
+
+
+def test_seq_add_wraps():
+    assert seq_add(SEQ_MASK, 1) == 0
+    assert seq_add(0, -1) == SEQ_MASK
+    assert seq_add(10, 5) == 15
+
+
+def test_seq_sub_signed():
+    assert seq_sub(10, 3) == 7
+    assert seq_sub(3, 10) == -7
+    assert seq_sub(0, SEQ_MASK) == 1
+
+
+def test_between():
+    assert seq_between(10, 10, 20)
+    assert seq_between(10, 19, 20)
+    assert not seq_between(10, 20, 20)
+    assert not seq_between(10, 9, 20)
+    # across the wrap
+    lo = SEQ_MASK - 5
+    assert seq_between(lo, 2, 10)
+
+
+def test_min_max():
+    assert seq_max(5, 10) == 10
+    assert seq_min(5, 10) == 5
+    assert seq_max(SEQ_MASK - 1, 3) == 3   # 3 is after the wrap
+
+
+@given(seqs, small)
+def test_add_then_sub_roundtrip(a, d):
+    assert seq_sub(seq_add(a, d), a) == d
+
+
+@given(seqs, st.integers(1, 2**30))
+def test_strict_order_after_add(a, d):
+    b = seq_add(a, d)
+    assert seq_lt(a, b)
+    assert seq_gt(b, a)
+    assert not seq_lt(b, a)
+
+
+@given(seqs)
+def test_reflexivity(a):
+    assert seq_leq(a, a)
+    assert seq_geq(a, a)
+    assert not seq_lt(a, a)
+    assert not seq_gt(a, a)
+    assert seq_sub(a, a) == 0
+
+
+@given(seqs, small, small)
+def test_transitivity_within_window(a, d1, d2):
+    b = seq_add(a, d1)
+    c = seq_add(b, d2)
+    if d1 + d2 < 2**31:
+        assert seq_leq(a, b) and seq_leq(b, c)
+        assert seq_leq(a, c)
+
+
+@given(seqs, small)
+def test_min_max_consistent(a, d):
+    b = seq_add(a, d)
+    assert seq_max(a, b) == b
+    assert seq_min(a, b) == a
+    assert seq_max(a, b) == seq_max(b, a)
+    assert seq_min(a, b) == seq_min(b, a)
+
+
+@given(seqs, seqs)
+def test_lt_gt_duality(a, b):
+    if a != b:
+        assert seq_lt(a, b) != seq_lt(b, a)
+        assert seq_lt(a, b) == seq_gt(b, a)

@@ -1,0 +1,99 @@
+"""Unit and property tests for the dynamic update-timer policy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.update import UpdatePolicy
+from repro.sim.timer import JIFFY_US
+
+
+def mk(**kw):
+    defaults = dict(initial_jiffies=50, min_jiffies=2, max_jiffies=200)
+    defaults.update(kw)
+    return UpdatePolicy(**defaults)
+
+
+def test_initial_period():
+    p = mk()
+    assert p.period_jiffies == 50
+    assert p.period_us == 50 * JIFFY_US
+
+
+def test_probe_shrinks_period_by_one_jiffy():
+    p = mk()
+    p.note_probe()
+    p.end_period()
+    assert p.period_jiffies == 49
+    assert p.adjust_downs == 1
+
+
+def test_quiet_period_grows_by_one_jiffy():
+    p = mk()
+    p.end_period()
+    assert p.period_jiffies == 51
+    assert p.adjust_ups == 1
+
+
+def test_probe_flag_resets_each_period():
+    p = mk()
+    p.note_probe()
+    p.end_period()   # probe seen -> down to 49
+    p.end_period()   # flag was reset, no probe now -> back up to 50
+    assert p.period_jiffies == 50
+    assert p.adjust_downs == 1 and p.adjust_ups == 1
+
+
+def test_bounded_below():
+    p = mk(initial_jiffies=3)
+    for _ in range(10):
+        p.note_probe()
+        p.end_period()
+    assert p.period_jiffies == 2
+
+
+def test_bounded_above():
+    p = mk(initial_jiffies=198)
+    for _ in range(10):
+        p.end_period()
+    assert p.period_jiffies == 200
+
+
+def test_static_mode_never_adjusts():
+    p = mk(dynamic=False)
+    p.note_probe()
+    p.end_period()
+    p.end_period()
+    assert p.period_jiffies == 50
+    assert p.adjust_ups == p.adjust_downs == 0
+
+
+def test_bad_bounds_rejected():
+    with pytest.raises(ValueError):
+        UpdatePolicy(initial_jiffies=1, min_jiffies=2, max_jiffies=200)
+    with pytest.raises(ValueError):
+        UpdatePolicy(initial_jiffies=300, min_jiffies=2, max_jiffies=200)
+
+
+@given(st.lists(st.booleans(), max_size=500))
+def test_period_always_within_bounds(probe_flags):
+    p = mk()
+    for probed in probe_flags:
+        if probed:
+            p.note_probe()
+        period_us = p.end_period()
+        assert p.min_jiffies <= p.period_jiffies <= p.max_jiffies
+        assert period_us == p.period_jiffies * JIFFY_US
+
+
+@given(st.integers(1, 100))
+def test_moves_toward_fewer_probes(n):
+    """Sustained probing drives the period to its minimum (more
+    updates); sustained quiet drives it to its maximum."""
+    p = mk()
+    for _ in range(200):
+        p.note_probe()
+        p.end_period()
+    assert p.period_jiffies == p.min_jiffies
+    for _ in range(400):
+        p.end_period()
+    assert p.period_jiffies == p.max_jiffies

@@ -1,0 +1,62 @@
+"""Unit and property tests for receive-window regions (paper Fig. 2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.seq import SEQ_MASK, seq_add
+from repro.core.window import Region, classify_fill, window_empty, window_fill
+
+
+def test_fill_and_empty_complement():
+    assert window_fill(100, 150) == 50
+    assert window_empty(100, 150, 200) == 150
+    assert window_fill(100, 100) == 0
+    assert window_empty(100, 100, 200) == 200
+
+
+def test_fill_across_wrap():
+    lo = SEQ_MASK - 10
+    assert window_fill(lo, seq_add(lo, 30)) == 30
+
+
+def test_region_thresholds():
+    size = 1000
+    assert classify_fill(0, size, 0.5, 0.9) is Region.SAFE
+    assert classify_fill(499, size, 0.5, 0.9) is Region.SAFE
+    assert classify_fill(500, size, 0.5, 0.9) is Region.WARNING
+    assert classify_fill(899, size, 0.5, 0.9) is Region.WARNING
+    assert classify_fill(900, size, 0.5, 0.9) is Region.CRITICAL
+    assert classify_fill(1000, size, 0.5, 0.9) is Region.CRITICAL
+
+
+def test_zero_window_is_critical():
+    assert classify_fill(0, 0, 0.5, 0.9) is Region.CRITICAL
+
+
+_SEVERITY = {Region.SAFE: 0, Region.WARNING: 1, Region.CRITICAL: 2}
+
+
+@given(st.integers(1, 10**6), st.data())
+def test_classification_monotone_in_fill(size, data):
+    f1 = data.draw(st.integers(0, size))
+    f2 = data.draw(st.integers(f1, size))
+    r1 = classify_fill(f1, size, 0.5, 0.9)
+    r2 = classify_fill(f2, size, 0.5, 0.9)
+    assert _SEVERITY[r2] >= _SEVERITY[r1]
+
+
+@given(st.integers(0, 10**6), st.integers(1, 10**6))
+def test_classification_total(fill, size):
+    region = classify_fill(fill, size, 0.5, 0.9)
+    assert region in (Region.SAFE, Region.WARNING, Region.CRITICAL)
+
+
+@given(st.integers(0, SEQ_MASK), st.integers(0, 2**20),
+       st.integers(1, 2**20))
+def test_fill_plus_empty_equals_size(base, fill, size):
+    high = seq_add(base, fill)
+    f = window_fill(base, high)
+    e = window_empty(base, high, size)
+    if fill <= size:
+        assert f + e == size
+    else:
+        assert e == 0

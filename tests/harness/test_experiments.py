@@ -1,0 +1,61 @@
+"""Tests for the experiment registry, reports and the CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.experiments import (EXPERIMENTS, Report, file_sizes,
+                                       run_experiment)
+
+
+def test_registry_covers_every_paper_artifact():
+    expected = {"table1", "fig3", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "fig15", "fig16", "scaling", "baselines"}
+    assert expected <= set(EXPERIMENTS)
+    ablations = {k for k in EXPERIMENTS if k.startswith("ablation-")}
+    assert len(ablations) >= 7
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_file_sizes_scale():
+    assert file_sizes("quick") == (2_000_000, 8_000_000)
+    assert file_sizes("full") == (10_000_000, 40_000_000)
+
+
+def test_report_render_contains_tables():
+    rep = Report("x", "A Title")
+    rep.add("tbl", ["a", "b"], [[1, 2]])
+    rep.notes.append("hello")
+    out = rep.render()
+    assert "A Title" in out
+    assert "tbl" in out
+    assert "note: hello" in out
+
+
+def test_cheap_experiments_run(capsys):
+    for exp in ("table1", "fig14"):
+        rep = run_experiment(exp, "quick")
+        assert rep.tables
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out and "ablation-fec" in out
+
+
+def test_cli_runs_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "UPDATE" in out and "PROBE" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert main(["fig99"]) == 2
+
+
+def test_cli_usage_without_args(capsys):
+    assert main([]) == 2

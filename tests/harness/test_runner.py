@@ -1,0 +1,61 @@
+"""Tests for the transfer runner and result collection."""
+
+import pytest
+
+from repro.harness.runner import PROTOCOLS, TransferResult, run_transfer
+from repro.workloads.scenarios import build_lan
+
+
+def test_unknown_protocol_rejected():
+    sc = build_lan(1, 10e6)
+    with pytest.raises(ValueError):
+        run_transfer(sc, nbytes=1000, protocol="carrier-pigeon")
+
+
+def test_result_fields_consistent():
+    sc = build_lan(2, 10e6, seed=40)
+    res = run_transfer(sc, nbytes=200_000, sndbuf=128 * 1024)
+    assert isinstance(res, TransferResult)
+    assert res.protocol == "hrmc"
+    assert res.nbytes == 200_000
+    assert res.n_receivers == 2
+    assert res.ok
+    assert res.duration_us > 0
+    assert res.throughput_bps == pytest.approx(
+        200_000 * 8 * 1e6 / res.duration_us)
+    assert res.throughput_mbps == pytest.approx(res.throughput_bps / 1e6)
+    assert 0 <= res.release_complete_pct <= 100
+    assert len(res.per_receiver) == 2
+    assert res.sim_events > 0
+
+
+def test_rcvbuf_defaults_to_sndbuf():
+    sc = build_lan(1, 10e6, seed=41)
+    res = run_transfer(sc, nbytes=50_000, sndbuf=96 * 1024)
+    assert res.ok  # just exercises the default path
+
+
+def test_receiver_stats_aggregated():
+    sc = build_lan(3, 10e6, seed=42)
+    res = run_transfer(sc, nbytes=100_000, sndbuf=128 * 1024)
+    assert res.receiver_stats.joins_sent == 3
+    assert res.receiver_stats.data_pkts_rcvd > 0
+
+
+def test_max_sim_s_bounds_broken_runs():
+    """A run that cannot finish must still return at the time bound."""
+    sc = build_lan(1, 10e6, seed=43)
+    # receiver never joins the group: transfer cannot complete
+    sc.receivers[0].nic.join_group = lambda g: None  # sabotage NIC join
+    res = run_transfer(sc, nbytes=100_000, sndbuf=64 * 1024, max_sim_s=2.0)
+    assert not res.ok
+    assert res.duration_us <= 2_000_001
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_every_protocol_produces_result(protocol):
+    sc = build_lan(2, 10e6, seed=44)
+    res = run_transfer(sc, nbytes=80_000, protocol=protocol,
+                       sndbuf=128 * 1024, max_sim_s=120)
+    assert res.ok, protocol
+    assert res.protocol == protocol

@@ -1,0 +1,154 @@
+"""Unit tests for the shared link and NIC models."""
+
+from repro.net.link import SharedLink
+from repro.net.nic import NetworkInterface
+from repro.net.packet import NetPacket, IP_OVERHEAD, LINK_OVERHEAD
+from repro.sim.engine import Simulator
+
+
+def make_lan(n=2, bandwidth=10e6, **nic_kw):
+    sim = Simulator()
+    link = SharedLink(sim, bandwidth, prop_delay_us=5)
+    nics = []
+    for i in range(n):
+        nic = NetworkInterface(sim, f"10.0.0.{i+1}", **nic_kw)
+        link.attach(nic)
+        nic.attach(link)
+        nics.append(nic)
+    return sim, link, nics
+
+
+class FakeSeg:
+    def __init__(self, dport=7):
+        self.dport = dport
+        self.length = 0
+
+
+def mkpkt(src, dst, seg_bytes=1000):
+    return NetPacket(src, dst, FakeSeg(), seg_bytes)
+
+
+def test_wire_overheads():
+    pkt = mkpkt("a", "b", 1480)
+    assert pkt.wire_bytes == 1480 + IP_OVERHEAD + LINK_OVERHEAD
+    assert pkt.wire_bits == pkt.wire_bytes * 8
+
+
+def test_unicast_delivery_and_filtering():
+    sim, link, nics = make_lan(3)
+    a, b, c = nics
+    got = []
+    b.rx_handler = lambda pkt: got.append(pkt.dst)
+    c.rx_handler = lambda pkt: got.append("c-saw-it")
+    a.try_transmit(mkpkt(a.addr, b.addr))
+    sim.run()
+    assert got == [b.addr]
+    assert c.filtered == 1  # heard it on the wire, filtered by address
+
+
+def test_sender_does_not_hear_own_frame():
+    sim, link, (a, b) = make_lan(2)
+    got = []
+    a.rx_handler = lambda pkt: got.append("self")
+    b.rx_handler = lambda pkt: None
+    a.try_transmit(mkpkt(a.addr, b.addr))
+    sim.run()
+    assert got == []
+
+
+def test_multicast_needs_group_join():
+    sim, link, (a, b) = make_lan(2)
+    got = []
+    b.rx_handler = lambda pkt: got.append(1)
+    a.try_transmit(mkpkt(a.addr, "224.1.0.1"))
+    sim.run()
+    assert got == []
+    assert b.filtered == 1
+
+    b.join_group("224.1.0.1")
+    a.try_transmit(mkpkt(a.addr, "224.1.0.1"))
+    sim.run()
+    assert got == [1]
+
+
+def test_leave_group_stops_delivery():
+    sim, link, (a, b) = make_lan(2)
+    got = []
+    b.rx_handler = lambda pkt: got.append(1)
+    b.join_group("224.1.0.1")
+    b.leave_group("224.1.0.1")
+    a.try_transmit(mkpkt(a.addr, "224.1.0.1"))
+    sim.run()
+    assert got == []
+
+
+def test_serialization_time_matches_bandwidth():
+    # 10 Mbps, 1038-byte wire packet => 830.4 us
+    sim, link, (a, b) = make_lan(2, bandwidth=10e6)
+    arrivals = []
+    b.rx_handler = lambda pkt: arrivals.append(sim.now)
+    a.try_transmit(mkpkt(a.addr, b.addr, seg_bytes=1000))
+    sim.run()
+    wire_bits = (1000 + IP_OVERHEAD + LINK_OVERHEAD) * 8
+    expect = round(wire_bits / 10e6 * 1e6) + 5  # tx time + prop
+    assert arrivals == [expect]
+
+
+def test_medium_is_serialized_between_nics():
+    sim, link, nics = make_lan(3, bandwidth=10e6)
+    a, b, c = nics
+    arrivals = []
+    c.rx_handler = lambda pkt: arrivals.append(sim.now)
+    a.try_transmit(mkpkt(a.addr, c.addr, 1000))
+    b.try_transmit(mkpkt(b.addr, c.addr, 1000))
+    sim.run()
+    assert len(arrivals) == 2
+    tx = link.tx_time_us(mkpkt("x", "y", 1000))
+    assert arrivals[1] - arrivals[0] == tx  # back-to-back, not overlapped
+
+
+def test_tx_ring_backpressure_no_drop():
+    sim, link, (a, b) = make_lan(2, tx_ring=4)
+    accepted = sum(a.try_transmit(mkpkt(a.addr, b.addr)) for _ in range(10))
+    # ring holds 4; the rest are refused, not dropped
+    assert accepted == 4
+    assert a.tx_space() == 0
+    sim.run()
+    assert a.tx_packets == 4
+
+
+def test_rx_ring_overflow_drops():
+    sim = Simulator()
+    nic = NetworkInterface(sim, "10.0.0.1", rx_ring=3)
+    # No cpu_run/rx_cost -> instant drain; emulate a slow host instead
+    nic.rx_cost_fn = lambda pkt: 10_000
+    got = []
+    nic.rx_handler = lambda pkt: got.append(pkt.id)
+    for _ in range(8):
+        nic.medium_deliver(mkpkt("10.0.0.9", "10.0.0.1"))
+    sim.run()
+    assert len(got) == 3
+    assert nic.rx_ring_drops == 5
+
+
+def test_rx_loss_rate_drops_fraction():
+    sim = Simulator()
+    nic = NetworkInterface(sim, "10.0.0.1", rx_loss_rate=0.5, seed=7)
+    got = []
+    nic.rx_handler = lambda pkt: got.append(1)
+    n = 2000
+    for _ in range(n):
+        nic.medium_deliver(mkpkt("10.0.0.9", "10.0.0.1"))
+        sim.run()
+    assert 0.4 < len(got) / n < 0.6
+    assert nic.rx_loss_drops == n - len(got)
+
+
+def test_rx_delay_holds_packet():
+    sim = Simulator()
+    nic = NetworkInterface(sim, "10.0.0.1", rx_delay_us=123)
+    got = []
+    nic.rx_handler = lambda pkt: got.append(sim.now)
+    nic.medium_deliver(mkpkt("10.0.0.9", "10.0.0.1"))
+    sim.run()
+    assert got == [123]

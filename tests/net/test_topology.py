@@ -1,0 +1,149 @@
+"""Unit tests for topology builders."""
+
+import pytest
+
+from repro.net.packet import NetPacket
+from repro.net.topology import EthernetLanTopology, GroupSpec, WanTreeTopology
+from repro.sim.engine import Simulator
+
+GROUP_A = GroupSpec("A", delay_us=2_000, loss_rate=0.00005)
+GROUP_C = GroupSpec("C", delay_us=100_000, loss_rate=0.02)
+
+
+class FakeSeg:
+    dport = 7
+    length = 0
+
+
+def mkpkt(src, dst, seg_bytes=1000):
+    return NetPacket(src, dst, FakeSeg(), seg_bytes)
+
+
+def test_groupspec_loss_split():
+    g = GroupSpec("B", delay_us=20_000, loss_rate=0.005)
+    assert g.router_loss == pytest.approx(0.0045)
+    assert g.nic_loss == pytest.approx(0.0005)
+    assert g.router_loss + g.nic_loss == pytest.approx(g.loss_rate)
+
+
+def test_lan_topology_builds_and_delivers():
+    sim = Simulator()
+    lan = EthernetLanTopology(sim, 10e6)
+    a = lan.make_nic("10.0.0.1")
+    b = lan.make_nic("10.0.0.2")
+    got = []
+    b.rx_handler = lambda pkt: got.append(1)
+    a.try_transmit(mkpkt(a.addr, b.addr))
+    sim.run()
+    assert got == [1]
+
+
+def test_lan_duplicate_addr_rejected():
+    sim = Simulator()
+    lan = EthernetLanTopology(sim, 10e6)
+    lan.make_nic("10.0.0.1")
+    with pytest.raises(ValueError):
+        lan.make_nic("10.0.0.1")
+
+
+def test_wan_unicast_both_directions():
+    sim = Simulator()
+    wan = WanTreeTopology(sim, 10e6, seed=1)
+    s = wan.add_sender("10.0.0.1")
+    r = wan.add_receiver("10.1.0.1", GROUP_A)
+    got = []
+    r.rx_handler = lambda pkt: got.append("down")
+    s.rx_handler = lambda pkt: got.append("up")
+    s.try_transmit(mkpkt(s.addr, r.addr))
+    sim.run()
+    assert got == ["down"]
+    r.try_transmit(mkpkt(r.addr, s.addr))
+    sim.run()
+    assert got == ["down", "up"]
+
+
+def test_wan_one_way_delay_includes_group_delay():
+    sim = Simulator()
+    wan = WanTreeTopology(sim, 100e6, seed=1)
+    s = wan.add_sender("10.0.0.1")
+    r = wan.add_receiver("10.1.0.1", GROUP_C)
+    arrivals = []
+    r.rx_handler = lambda pkt: arrivals.append(sim.now)
+    s.try_transmit(mkpkt(s.addr, r.addr))
+    sim.run()
+    assert arrivals and arrivals[0] >= GROUP_C.delay_us
+
+
+def test_wan_multicast_fanout_after_join():
+    sim = Simulator()
+    wan = WanTreeTopology(sim, 10e6, seed=1)
+    s = wan.add_sender("10.0.0.1")
+    group = "224.1.0.1"
+    receivers = []
+    got = []
+    for i in range(3):
+        spec = GROUP_A if i < 2 else GroupSpec("B", 20_000, 0.0)
+        r = wan.add_receiver(f"10.{1 if i < 2 else 2}.0.{i+1}", spec)
+        r.rx_handler = lambda pkt, i=i: got.append(i)
+        receivers.append(r)
+        wan.join_group(r, group)
+    s.try_transmit(mkpkt(s.addr, group))
+    sim.run()
+    assert sorted(got) == [0, 1, 2]
+
+
+def test_wan_multicast_not_delivered_without_join():
+    sim = Simulator()
+    wan = WanTreeTopology(sim, 10e6, seed=1)
+    s = wan.add_sender("10.0.0.1")
+    r = wan.add_receiver("10.1.0.1", GROUP_A)
+    got = []
+    r.rx_handler = lambda pkt: got.append(1)
+    s.try_transmit(mkpkt(s.addr, "224.1.0.1"))
+    sim.run()
+    assert got == []
+
+
+def test_wan_leave_group_stops_fanout():
+    sim = Simulator()
+    wan = WanTreeTopology(sim, 10e6, seed=1)
+    s = wan.add_sender("10.0.0.1")
+    r = wan.add_receiver("10.1.0.1", GROUP_A)
+    group = "224.1.0.1"
+    got = []
+    r.rx_handler = lambda pkt: got.append(1)
+    wan.join_group(r, group)
+    wan.leave_group(r, group)
+    s.try_transmit(mkpkt(s.addr, group))
+    sim.run()
+    assert got == []
+
+
+def test_wan_correlated_loss_affects_whole_group():
+    """With a loss-rate-1 group router, no receiver in the group sees
+    the packet -- the drop is correlated."""
+    sim = Simulator()
+    lossy = GroupSpec("L", delay_us=1_000, loss_rate=1.0)
+    # router share is 0.9; force full loss at the router by a spec with
+    # loss 1.0 -> router_loss 0.9, so ~10% may get through the router.
+    wan = WanTreeTopology(sim, 10e6, seed=1)
+    s = wan.add_sender("10.0.0.1")
+    group = "224.1.0.1"
+    counts = {0: 0, 1: 0}
+    for i in range(2):
+        r = wan.add_receiver(f"10.1.0.{i+1}", lossy)
+        r.rx_handler = lambda pkt, i=i: counts.__setitem__(i, counts[i] + 1)
+        wan.join_group(r, group)
+    for _ in range(300):
+        s.try_transmit(mkpkt(s.addr, group))
+        sim.run()
+    # router drops ~90%; whatever passes is then dropped per-NIC w.p. 0.1
+    assert counts[0] < 80 and counts[1] < 80
+
+
+def test_single_sender_enforced():
+    sim = Simulator()
+    wan = WanTreeTopology(sim, 10e6)
+    wan.add_sender("10.0.0.1")
+    with pytest.raises(ValueError):
+        wan.add_sender("10.0.0.2")

@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+def test_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.pending() == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(30, order.append, "c")
+    sim.call_at(10, order.append, "a")
+    sim.call_at(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.call_at(100, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_call_after_relative():
+    sim = Simulator()
+    seen = []
+    sim.call_after(5, lambda: sim.call_after(7, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [12]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.call_at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    entry = sim.call_at(10, fired.append, 1)
+    sim.call_at(20, fired.append, 2)
+    sim.cancel(entry)
+    sim.run()
+    assert fired == [2]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    entry = sim.call_at(10, lambda: None)
+    sim.cancel(entry)
+    sim.cancel(entry)
+    assert sim.pending() == 0
+    sim.run()
+
+
+def test_run_until_advances_clock_exactly():
+    sim = Simulator()
+    sim.call_at(10, lambda: None)
+    sim.call_at(100, lambda: None)
+    sim.run(until=50)
+    assert sim.now == 50
+    assert sim.pending() == 1
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.call_at(50, fired.append, 1)
+    sim.run(until=50)
+    assert fired == [1]
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.call_at(i, fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_single_event():
+    sim = Simulator()
+    fired = []
+    sim.call_at(5, fired.append, "x")
+    assert sim.step() is True
+    assert fired == ["x"]
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.call_after(1, chain, n + 1)
+
+    sim.call_at(0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5
+
+
+def test_pending_counts_live_entries():
+    sim = Simulator()
+    e1 = sim.call_at(10, lambda: None)
+    sim.call_at(20, lambda: None)
+    assert sim.pending() == 2
+    sim.cancel(e1)
+    assert sim.pending() == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.call_at(10, lambda: None)
+    sim.call_at(20, lambda: None)
+    sim.cancel(e1)
+    assert sim.peek_time() == 20
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.call_at(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4

@@ -1,0 +1,125 @@
+"""Unit tests for the CSIM-style Resource facility."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process
+from repro.sim.resource import Resource
+
+
+def test_try_acquire_within_capacity():
+    sim = Simulator()
+    r = Resource(sim, capacity=2)
+    assert r.try_acquire()
+    assert r.try_acquire()
+    assert not r.try_acquire()
+    r.release()
+    assert r.try_acquire()
+
+
+def test_release_without_acquire_raises():
+    sim = Simulator()
+    r = Resource(sim)
+    with pytest.raises(RuntimeError):
+        r.release()
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_fifo_handoff_order():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, hold_us):
+        yield from r.acquire()
+        order.append((tag, sim.now))
+        yield Delay(hold_us)
+        r.release()
+
+    Process(sim, worker("a", 100))
+    Process(sim, worker("b", 100))
+    Process(sim, worker("c", 100))
+    sim.run()
+    assert [t for t, _ in order] == ["a", "b", "c"]
+    assert [at for _, at in order] == [0, 100, 200]
+
+
+def test_capacity_allows_parallelism():
+    sim = Simulator()
+    r = Resource(sim, capacity=2)
+    starts = []
+
+    def worker(tag):
+        yield from r.acquire()
+        starts.append((tag, sim.now))
+        yield Delay(100)
+        r.release()
+
+    for tag in "abcd":
+        Process(sim, worker(tag))
+    sim.run()
+    by_time = {}
+    for tag, at in starts:
+        by_time.setdefault(at, []).append(tag)
+    assert len(by_time[0]) == 2     # two run immediately
+    assert len(by_time[100]) == 2   # two more after the first pair
+
+
+def test_wait_statistics():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+
+    def worker(hold_us):
+        yield from r.acquire()
+        yield Delay(hold_us)
+        r.release()
+
+    Process(sim, worker(1000))
+    Process(sim, worker(1000))
+    sim.run()
+    assert r.stats.acquisitions == 2
+    assert r.stats.mean_wait_us() == pytest.approx(500)  # (0 + 1000)/2
+    assert r.stats.max_queue == 1
+
+
+def test_utilization_measured():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+
+    def worker():
+        yield from r.acquire()
+        yield Delay(600)
+        r.release()
+        yield Delay(400)  # idle tail so utilization < 1
+
+    p = Process(sim, worker())
+    sim.run()
+    assert sim.now == 1000
+    assert r.stats.utilization(r.capacity) == pytest.approx(0.6)
+
+
+def test_queue_length_tracks_waiters():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+
+    def holder():
+        yield from r.acquire()
+        yield Delay(1000)
+        r.release()
+
+    def waiter():
+        yield from r.acquire()
+        r.release()
+
+    Process(sim, holder())
+    Process(sim, waiter())
+    Process(sim, waiter())
+    sim.run(until=500)
+    assert r.queue_length == 2
+    sim.run()
+    assert r.queue_length == 0
+    assert r.in_use == 0

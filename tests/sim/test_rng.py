@@ -1,0 +1,27 @@
+"""Unit tests for deterministic RNG substreams."""
+
+from repro.sim.rng import substream
+
+
+def test_same_seed_same_name_reproduces():
+    a = substream(42, "router:1")
+    b = substream(42, "router:1")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    a = substream(42, "router:1")
+    b = substream(42, "router:2")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = substream(1, "nic")
+    b = substream(2, "nic")
+    assert a.random() != b.random()
+
+
+def test_stream_is_usable_random():
+    r = substream(0, "x")
+    values = [r.randrange(100) for _ in range(100)]
+    assert all(0 <= v < 100 for v in values)

@@ -1,0 +1,131 @@
+"""Tests for packet tracing and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import PacketType
+from repro.harness.runner import run_transfer
+from repro.trace import (PacketTracer, feedback_latency, load_trace,
+                         packet_summary, sequence_progress, sparkline,
+                         throughput_timeline)
+from repro.trace.tracer import TraceEvent
+from repro.workloads.groups import GROUP_B
+from repro.workloads.scenarios import build_lan, build_wan
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    sc = build_wan([GROUP_B] * 3, 10e6, seed=60)
+    tracer = PacketTracer().attach(sc.sender, *sc.receivers)
+    res = run_transfer(sc, nbytes=300_000, sndbuf=256 * 1024,
+                       max_sim_s=300)
+    tracer.detach()
+    return sc, tracer, res
+
+
+def test_capture_sees_both_directions(traced_run):
+    sc, tracer, res = traced_run
+    assert res.ok
+    dirs = {e.direction for e in tracer.events}
+    assert dirs == {"tx", "rx"}
+    hosts = {e.host for e in tracer.events}
+    assert sc.sender.addr in hosts
+    assert len(hosts) == 4
+
+
+def test_tx_rx_conservation(traced_run):
+    """Every DATA rx at a receiver corresponds to some sender tx."""
+    sc, tracer, res = traced_run
+    tx_data = [e for e in tracer.at_host(sc.sender.addr)
+               if e.direction == "tx" and e.ptype == int(PacketType.DATA)]
+    rx_data = [e for e in tracer.events
+               if e.direction == "rx" and e.ptype == int(PacketType.DATA)]
+    assert tx_data
+    # 3 receivers, some loss: rx count is bounded by 3x tx count
+    assert len(rx_data) <= 3 * len(tx_data)
+    tx_seqs = {e.seq for e in tx_data}
+    assert all(e.seq in tx_seqs for e in rx_data)
+
+
+def test_packet_summary_structure(traced_run):
+    _, tracer, _ = traced_run
+    summary = packet_summary(tracer.events)
+    assert "DATA" in summary
+    assert summary["DATA"]["count"] > 0
+    assert summary["DATA"]["bytes"] >= 300_000
+    retr = summary["_retransmissions"]
+    assert 0 <= retr["ratio"] < 1
+
+
+def test_throughput_timeline_accounts_all_bytes(traced_run):
+    sc, tracer, _ = traced_run
+    rcv = sc.receivers[0].addr
+    times, rate = throughput_timeline(tracer.events, host=rcv,
+                                      bucket_us=100_000)
+    assert len(times) == len(rate)
+    total = float((rate * 0.1).sum())
+    got = sum(e.length for e in tracer.at_host(rcv)
+              if e.direction == "rx" and e.ptype == int(PacketType.DATA))
+    assert total == pytest.approx(got, rel=1e-6)
+
+
+def test_sequence_progress_monotone(traced_run):
+    sc, tracer, _ = traced_run
+    t, seqs = sequence_progress(tracer.events, sc.receivers[0].addr)
+    assert len(t) == len(seqs) > 0
+    assert np.all(np.diff(seqs) > 0)
+    assert np.all(np.diff(t) >= 0)
+    assert seqs[-1] >= 300_000
+
+
+def test_feedback_latency_measured_under_loss(traced_run):
+    sc, tracer, res = traced_run
+    if res.sender_stats.naks_rcvd == 0:
+        pytest.skip("no loss this seed")
+    lat = feedback_latency(tracer.events, sender=sc.sender.addr)
+    assert lat["samples"] > 0
+    assert 0 <= lat["mean_us"] <= lat["max_us"]
+
+
+def test_save_and_load_roundtrip(tmp_path, traced_run):
+    _, tracer, _ = traced_run
+    path = tmp_path / "capture.jsonl"
+    n = tracer.save(str(path))
+    assert n == len(tracer.events)
+    back = load_trace(str(path))
+    assert back == tracer.events
+
+
+def test_max_events_cap():
+    sc = build_lan(1, 10e6, seed=61)
+    tracer = PacketTracer(max_events=10).attach(sc.sender)
+    run_transfer(sc, nbytes=100_000, sndbuf=64 * 1024)
+    assert len(tracer.events) == 10
+    assert tracer.dropped > 0
+
+
+def test_double_attach_rejected():
+    sc = build_lan(1, 10e6, seed=62)
+    PacketTracer().attach(sc.sender)
+    with pytest.raises(RuntimeError):
+        PacketTracer().attach(sc.sender)
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([1, 1, 1]) == "▁▁▁"
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert line[0] == "▁" and line[-1] == "█"
+    assert len(sparkline(range(1000), width=40)) == 40
+
+
+def test_trace_event_helpers():
+    ev = TraceEvent(t_us=1, host="h", direction="tx", peer="p",
+                    ptype=int(PacketType.DATA), seq=1, length=10,
+                    rate_adv=0, tries=2, flags=0)
+    assert ev.type_name == "DATA"
+    assert ev.is_retransmission
+    ev2 = TraceEvent(t_us=1, host="h", direction="tx", peer="p",
+                     ptype=int(PacketType.NAK), seq=1, length=10,
+                     rate_adv=0, tries=5, flags=0)
+    assert not ev2.is_retransmission
