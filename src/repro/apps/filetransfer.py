@@ -36,6 +36,7 @@ class AppResult:
     finished_at_us: int = -1     # close handshake complete
     verified: bool = True
     errors: list = field(default_factory=list)
+    resumed_at_offset: int = -1  # rejoin: first delivered stream offset
 
     @property
     def done(self) -> bool:
@@ -65,21 +66,31 @@ def sender_app(sock: Socket, nbytes: int, *, sport: int, group: str,
 
 def receiver_app(sock: Socket, *, group: str, port: int, result: AppResult,
                  disk: Optional[DiskModel] = None,
-                 chunk: int = DEFAULT_CHUNK, verify: str = "offsets"):
+                 chunk: int = DEFAULT_CHUNK, verify: str = "offsets",
+                 resume: bool = False):
     """Generator process: join, read to EOF (verifying), and close.
 
     ``verify`` is ``"offsets"`` (check payload descriptors are the
     expected contiguous pattern slices -- zero-copy), ``"bytes"``
     (materialize and compare against the pattern), or ``"none"``.
+
+    With ``resume=True`` (a receiver rejoining mid-stream, e.g. after a
+    crash) verification locks onto the offset of the first delivered
+    payload instead of expecting the stream to start at 0.
     """
     sim = sock.host.sim
     sock.join(group, port)
-    expected_offset = 0
+    expected_offset: Optional[int] = None if resume else 0
     while True:
         payloads = yield from sock.recv_payloads(chunk)
         if not payloads:
             break
         got = sum(p.length for p in payloads)
+        if expected_offset is None:
+            first = payloads[0]
+            expected_offset = (first.offset
+                               if isinstance(first, PatternPayload) else 0)
+            result.resumed_at_offset = expected_offset
         if verify == "offsets":
             for p in payloads:
                 if isinstance(p, PatternPayload):

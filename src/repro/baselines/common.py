@@ -121,7 +121,7 @@ class BaseTransport(Transport):
                 yield self.sock.state_change
         elif self.is_receiver and self.RECEIVER_LINGER_US > 0:
             from repro.sim.timer import Timer
-            timeout = Timer(self.sim, self.sock.state_change.fire,
+            timeout = Timer(self.host.clock, self.sock.state_change.fire,
                             "linger")
             timeout.mod_after(self.RECEIVER_LINGER_US)
             yield self.sock.state_change

@@ -53,8 +53,8 @@ class TcpLikeTransport(BaseTransport):
         # receiver state
         self.rx: Optional[ReassemblyBuffer] = None
         self._sender: Optional[tuple[str, int]] = None
-        self.transmit_timer = Timer(self.sim, self._tick, "tcp-tx")
-        self.rto_timer = Timer(self.sim, self._rto_fire, "tcp-rto")
+        self.transmit_timer = Timer(host.clock, self._tick, "tcp-tx")
+        self.rto_timer = Timer(host.clock, self._rto_fire, "tcp-rto")
 
     # ------------------------------------------------------------------
     # sender

@@ -61,6 +61,7 @@ class MemberTable:
         self._count = 0
         self.joins = 0
         self.leaves = 0
+        self._departed: set[str] = set()  # addresses whose LEAVE was seen
 
     def __len__(self) -> int:
         return self._count
@@ -108,12 +109,25 @@ class MemberTable:
         self._tail = member
         self._count += 1
         self.joins += 1
+        self._departed.discard(addr)  # re-join after an earlier leave
         return member
 
     def remove(self, addr: str) -> bool:
-        """Remove a member; unknown addresses are a no-op (idempotent)."""
+        """Remove a member; unknown addresses are a no-op (idempotent).
+
+        A LEAVE from an address that never made it into the table still
+        counts toward the join/leave tallies (once): it proves a
+        receiver whose JOIN was lost existed and is done -- on a
+        transfer shorter than the join-retry period the JOIN is never
+        retried, and without this the sender would wait forever for a
+        join quorum that can no longer form.
+        """
         member = self.get(addr)
         if member is None:
+            if addr not in self._departed:
+                self._departed.add(addr)
+                self.joins += 1
+                self.leaves += 1
             return False
         # hash chain unlink
         idx = self._bucket(addr)
@@ -139,6 +153,7 @@ class MemberTable:
         member.prev = member.next = member.hnext = None
         self._count -= 1
         self.leaves += 1
+        self._departed.add(addr)  # retried LEAVEs must not re-count
         return True
 
     # -- feedback (cf. update_mem) ----------------------------------------

@@ -129,7 +129,7 @@ class HRMCTransport(Transport):
         elif self.receiver is not None:
             # retransmit LEAVE until acknowledged (it may be lost); the
             # sender's probe timeout is the backstop if we give up
-            timeout = Timer(self.host.sim, self.sock.state_change.fire,
+            timeout = Timer(self.host.clock, self.sock.state_change.fire,
                             "leave-timeout")
             for _ in range(self.cfg.leave_max_tries):
                 self.receiver.send_leave()

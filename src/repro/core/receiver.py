@@ -93,10 +93,10 @@ class HRMCReceiver:
         self.leave_acked = False
         self.failed = False             # sender declared dead
         self._last_sender_us = -1
-        self.nak_timer = Timer(self.sim, self._nak_tick, "nak")
-        self.update_timer = Timer(self.sim, self._update_tick, "update")
-        self.join_timer = Timer(self.sim, self._join_retry, "join-retry")
-        self.liveness_timer = Timer(self.sim, self._liveness_tick,
+        self.nak_timer = Timer(host.clock, self._nak_tick, "nak")
+        self.update_timer = Timer(host.clock, self._update_tick, "update")
+        self.join_timer = Timer(host.clock, self._join_retry, "join-retry")
+        self.liveness_timer = Timer(host.clock, self._liveness_tick,
                                     "liveness")
         self._closed = False
 
@@ -544,7 +544,9 @@ class HRMCReceiver:
                 if skb.payload is not None:
                     out.append(skb.payload)
                 taken += skb.length
-                self.rcv_wnd = skb.end_seq
+                # seq_max, not assignment: a NAK_ERR may have advanced
+                # the window origin past queued-but-unread data
+                self.rcv_wnd = seq_max(self.rcv_wnd, skb.end_seq)
             else:
                 # partial read: split the head skb
                 q.dequeue()
@@ -560,7 +562,7 @@ class HRMCReceiver:
                                        if skb.payload else None))
                 q.requeue_front(rest)
                 taken += want
-                self.rcv_wnd = seq_add(skb.seq, want)
+                self.rcv_wnd = seq_max(self.rcv_wnd, seq_add(skb.seq, want))
         if self.eof_seq is not None and not self.sock.receive_queue and \
                 seq_geq(self.rcv_wnd, self.eof_seq):
             self.eof_reached = True

@@ -29,7 +29,7 @@ optional threshold); the window stalls until the answers arrive.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.config import HRMCConfig
 from repro.core.membership import Member, MemberTable
@@ -86,9 +86,16 @@ class HRMCSender:
         # the rate again
         self._recover_seq = cfg.iss
 
-        self.transmit_timer = Timer(self.sim, self._transmit_tick, "transmit")
-        self.retrans_timer = Timer(self.sim, self._retrans_tick, "retrans")
-        self.ka_timer = Timer(self.sim, self._keepalive_tick, "keepalive")
+        # observation point for the invariant checker: called with
+        # (sender, skb) just before each segment leaves the write queue,
+        # while the membership evidence justifying the release is intact
+        self.release_hook: Optional[Callable[["HRMCSender", SKBuff], None]] = None
+
+        # timers run on the host's clock so the fault layer can skew or
+        # stall one machine's timer interrupt without touching sim time
+        self.transmit_timer = Timer(host.clock, self._transmit_tick, "transmit")
+        self.retrans_timer = Timer(host.clock, self._retrans_tick, "retrans")
+        self.ka_timer = Timer(host.clock, self._keepalive_tick, "keepalive")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -286,6 +293,8 @@ class HRMCSender:
                     self.release.stall_us += JIFFY_US
                     break
             # release
+            if self.release_hook is not None:
+                self.release_hook(self, skb)
             self.sock.write_queue.dequeue()
             skb.retrans_pending = False
             self.snd_wnd = boundary

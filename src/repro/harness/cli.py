@@ -6,8 +6,12 @@ Usage::
     hrmc-experiments fig10 fig13
     hrmc-experiments --all
     hrmc-experiments --all --scale full
+    hrmc-experiments --chaos-seed 10
+    hrmc-experiments --fault-plan plan.json
 
-(or ``python -m repro.harness.cli``).
+(or ``python -m repro.harness.cli``).  ``--chaos-seed``/``--fault-plan``
+run one fault-injected transfer with the invariant checker attached and
+print what happened (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -20,6 +24,49 @@ import time
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
+
+
+def _run_chaos(args) -> int:
+    """Run one fault-injected transfer and report what happened."""
+    from repro.faults.plan import FaultPlan
+    from repro.harness.experiments import chaos_config
+    from repro.harness.runner import run_transfer
+    from repro.workloads.scenarios import build_chaos, build_lan
+
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load fault plan {args.fault_plan!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        scenario = build_lan(args.receivers, 10e6, seed=plan.seed)
+        scenario.fault_plan = plan
+    else:
+        scenario = build_chaos(args.receivers, 10e6, seed=args.chaos_seed,
+                               horizon_us=1_000_000)
+        plan = scenario.fault_plan
+    print(plan.describe())
+    try:
+        result = run_transfer(scenario, protocol="hrmc", nbytes=args.nbytes,
+                              sndbuf=128 * 1024, cfg=chaos_config(),
+                              invariants=True, max_sim_s=120)
+    except ValueError as exc:  # e.g. plan targets a missing receiver
+        print(f"cannot run fault plan: {exc}", file=sys.stderr)
+        return 2
+    print(f"fault events: {result.fault_events}  "
+          f"crashed: {result.crashed_receivers}  "
+          f"restarted: {result.restarted_receivers}  "
+          f"invariant checks: {result.invariant_checks}")
+    for r in result.per_receiver:
+        print(f"  {r.name}: bytes={r.bytes_done} verified={r.verified} "
+              f"done={r.done}")
+    for r in result.rejoin_results:
+        print(f"  {r.name}: bytes={r.bytes_done} "
+              f"resumed_at={r.resumed_at_offset} verified={r.verified}")
+    ok = result.surviving_ok
+    print("survivors ok" if ok else "FAILED: survivor did not complete")
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -38,7 +85,20 @@ def main(argv=None) -> int:
                              "full = paper-size 10/40 MB transfers")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                        help="run one chaos transfer with a seed-random "
+                             "fault plan and the invariant checker on")
+    parser.add_argument("--fault-plan", metavar="FILE", default=None,
+                        help="run one chaos transfer driven by a saved "
+                             "FaultPlan JSON file")
+    parser.add_argument("--receivers", type=int, default=3,
+                        help="receiver count for --chaos-seed/--fault-plan")
+    parser.add_argument("--nbytes", type=int, default=250_000,
+                        help="transfer size for --chaos-seed/--fault-plan")
     args = parser.parse_args(argv)
+
+    if args.chaos_seed is not None or args.fault_plan:
+        return _run_chaos(args)
 
     if args.list:
         for exp_id in EXPERIMENTS:

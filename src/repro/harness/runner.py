@@ -20,12 +20,16 @@ from repro.baselines.polling import open_polling_socket
 from repro.baselines.tcp import TcpLikeTransport
 from repro.core.config import HRMCConfig
 from repro.core.protocol import open_hrmc_socket
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
 from repro.kernel.payload import PatternPayload
 from repro.kernel.socket_api import Socket
 from repro.rmc import open_rmc_socket
 from repro.sim.engine import US_PER_SEC
 from repro.sim.process import Process
 from repro.stats.metrics import Counters
+from repro.trace.tracer import PacketTracer
 from repro.workloads.scenarios import Scenario
 
 __all__ = ["TransferResult", "run_transfer", "PROTOCOLS"]
@@ -53,6 +57,12 @@ class TransferResult:
     sim_events: int = 0
     wall_events_per_packet: float = 0.0
     drop_summary: dict = field(default_factory=dict)
+    # chaos bookkeeping (populated when a fault plan ran)
+    fault_events: int = 0
+    crashed_receivers: list = field(default_factory=list)
+    restarted_receivers: list = field(default_factory=list)
+    invariant_checks: int = 0
+    rejoin_results: list = field(default_factory=list)
 
     @property
     def throughput_mbps(self) -> float:
@@ -61,6 +71,18 @@ class TransferResult:
     @property
     def feedback_total(self) -> int:
         return self.receiver_stats.feedback_total
+
+    @property
+    def surviving_ok(self) -> bool:
+        """Every receiver that was *not* crashed by the fault plan got
+        the whole stream, verified (and the sender finished).  With no
+        faults this collapses to :attr:`ok`."""
+        crashed = set(self.crashed_receivers)
+        survivors = [r for i, r in enumerate(self.per_receiver)
+                     if i not in crashed]
+        return (all(r.done and r.verified and r.bytes_done == self.nbytes
+                    for r in survivors)
+                and len(survivors) + len(crashed) == self.n_receivers)
 
 
 def _open_socket(protocol: str, host, cfg: HRMCConfig, *, sndbuf: int,
@@ -84,18 +106,41 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
                  cfg: Optional[HRMCConfig] = None,
                  disk: bool = False, chunk: int = 64 * 1024,
                  verify: str = "offsets", seed: int = 0,
-                 max_sim_s: float = 3600.0) -> TransferResult:
+                 max_sim_s: float = 3600.0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 invariants: bool = False,
+                 tracer: Optional[PacketTracer] = None) -> TransferResult:
     """Transfer ``nbytes`` from the scenario's sender to every receiver.
 
     ``sndbuf`` is the per-socket kernel buffer of the experiments' x
     axis; ``rcvbuf`` defaults to the same value (the paper varies them
     together as "the kernel buffer size").
+
+    ``fault_plan`` (or ``scenario.fault_plan``) schedules fault
+    injection for the run; ``invariants=True`` attaches the
+    always-on protocol-invariant checker, which raises
+    :class:`~repro.faults.invariants.InvariantViolation` at the first
+    unsafe state.  Pass a ``tracer`` to keep the capture (the harness
+    attaches it to every host); otherwise the checker runs on an
+    internal flight-recorder tracer.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}")
     rcvbuf = sndbuf if rcvbuf is None else rcvbuf
     sim = scenario.sim
     n = scenario.n_receivers
+
+    fault_plan = fault_plan if fault_plan is not None \
+        else getattr(scenario, "fault_plan", None)
+    if fault_plan is not None and protocol == "tcp":
+        raise ValueError("fault plans are not supported for the "
+                         "tcp-like reference (sequential unicast)")
+    if tracer is not None or invariants:
+        if tracer is None:
+            # flight recorder: bounded memory, listeners see everything
+            tracer = PacketTracer(max_events=256, ring=True)
+        tracer.attach(scenario.sender, *scenario.receivers)
+    checker = InvariantChecker(tracer) if invariants else None
 
     base = cfg or HRMCConfig()
     if protocol in ("hrmc", "rmc"):
@@ -122,12 +167,14 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
         rsocks = [_open_socket(protocol, h, base, sndbuf=sndbuf,
                                rcvbuf=rcvbuf, n_receivers=n)
                   for h in scenario.receivers]
+        rprocs = []
         for i, rsock in enumerate(rsocks):
-            Process(sim, receiver_app(rsock, group=scenario.group_addr,
-                                      port=scenario.data_port,
-                                      result=receiver_results[i],
-                                      disk=disks.get(i), chunk=chunk,
-                                      verify=verify), name=f"rcv{i}")
+            rprocs.append(
+                Process(sim, receiver_app(rsock, group=scenario.group_addr,
+                                          port=scenario.data_port,
+                                          result=receiver_results[i],
+                                          disk=disks.get(i), chunk=chunk,
+                                          verify=verify), name=f"rcv{i}"))
         Process(sim, sender_app(ssock, nbytes, sport=scenario.sender_port,
                                 group=scenario.group_addr,
                                 port=scenario.data_port,
@@ -135,10 +182,49 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
                                 disk=disks.get("sender"), chunk=chunk),
                 name="sender")
         sockets = (ssock, rsocks)
+        if checker is not None:
+            checker.watch_sender(ssock.transport)
+            for rsock in rsocks:
+                checker.watch_receiver(rsock.transport)
+
+    injector = None
+    rejoin_results: list[AppResult] = []
+    if fault_plan is not None:
+        injector = FaultInjector(scenario, fault_plan, checker=checker)
+
+        def rejoin(idx: int) -> None:
+            """Fresh socket + application on the restarted host: the
+            kernel endpoint died with the crash, so the receiver comes
+            back as a new group member and resumes mid-stream."""
+            sock = _open_socket(protocol, scenario.receivers[idx], base,
+                                sndbuf=sndbuf, rcvbuf=rcvbuf,
+                                n_receivers=n)
+            res = AppResult(name=f"rcv{idx}-rejoin")
+            rejoin_results.append(res)
+            Process(sim, receiver_app(sock, group=scenario.group_addr,
+                                      port=scenario.data_port, result=res,
+                                      chunk=chunk, verify=verify,
+                                      resume=True),
+                    name=f"rcv{idx}-rejoin")
+            if checker is not None:
+                checker.watch_receiver(sock.transport)
+
+        injector.register_receivers(rsocks, rprocs, restart_fn=rejoin)
+        injector.arm()
 
     sim.run(until=round(max_sim_s * US_PER_SEC))
-    return _collect(scenario, protocol, nbytes, sockets, sender_result,
-                    receiver_results)
+    if checker is not None:
+        checker.final_check()
+    result = _collect(scenario, protocol, nbytes, sockets, sender_result,
+                      receiver_results)
+    if injector is not None:
+        result.fault_events = injector.fault_events
+        result.crashed_receivers = sorted(injector.crashed)
+        result.restarted_receivers = sorted(injector.restarted)
+        result.rejoin_results = rejoin_results
+    if checker is not None:
+        result.invariant_checks = checker.checks
+    return result
 
 
 def _run_tcp_sequential(scenario, nbytes, sndbuf, rcvbuf, sender_result,

@@ -25,7 +25,46 @@ from repro.kernel.skbuff import SKBuff
 from repro.sim.engine import Simulator
 from repro.sim.process import SimEvent
 
-__all__ = ["CostModel", "Host", "Transport"]
+__all__ = ["CostModel", "Host", "HostClock", "Transport"]
+
+
+class HostClock:
+    """A host's view of the jiffy-timer machinery.
+
+    Duck-types the slice of :class:`Simulator` that :class:`~repro.sim.timer.Timer`
+    uses (``now`` / ``call_at`` / ``cancel``) so that all of a host's
+    protocol timers can be driven through a per-host object.  The fault
+    layer uses this to model clock trouble without touching global sim
+    time: ``skew`` stretches (or shrinks) every programmed timer delay
+    like a drifting oscillator, and ``stalled_until`` defers firings the
+    way a wedged timer interrupt would.  Reading ``now`` is unaffected
+    -- timestamps stay honest; only *when timers fire* shifts.
+    """
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self.skew = 1.0          # multiplier on programmed timer delays
+        self.stalled_until = 0   # no timer may fire before this sim time
+
+    @property
+    def now(self) -> int:
+        return self._sim.now
+
+    def call_at(self, when: int, callback: Callable, *args):
+        if self.skew != 1.0:
+            delay = max(0, int(when) - self._sim.now)
+            when = self._sim.now + int(round(delay * self.skew))
+        if when < self.stalled_until:
+            when = self.stalled_until
+        return self._sim.call_at(max(int(when), self._sim.now),
+                                 callback, *args)
+
+    def call_after(self, delay: int, callback: Callable, *args):
+        return self.call_at(self._sim.now + max(0, int(delay)),
+                            callback, *args)
+
+    def cancel(self, entry) -> None:
+        self._sim.cancel(entry)
 
 
 @dataclass(frozen=True)
@@ -81,6 +120,8 @@ class Host:
         self.cost = cost or CostModel()
         self.name = name or f"host-{nic.addr}"
         self.addr = nic.addr
+        self.clock = HostClock(sim)
+        self.crashed = False
         self._cpu_busy_until = 0
         self._ports: dict[int, Transport] = {}
         self._pending_xmit = 0   # charged to CPU, not yet on the NIC
@@ -114,6 +155,31 @@ class Host:
     @property
     def cpu_busy_until(self) -> int:
         return self._cpu_busy_until
+
+    # -- faults (repro.faults) ----------------------------------------
+
+    def crash(self) -> None:
+        """Power failure: the NIC rings lose their contents and the card
+        goes deaf.  The caller (the fault injector) is responsible for
+        killing this host's application processes and aborting its
+        transports -- kernel state does not survive the crash."""
+        self.crashed = True
+        self.nic.power_off()
+
+    def restart(self) -> None:
+        """Power back on with cold rings and an idle CPU."""
+        self.crashed = False
+        self.nic.power_on()
+        self._cpu_busy_until = self.sim.now
+
+    def pause(self, duration_us: int) -> None:
+        """Freeze the CPU for ``duration_us`` (an SMM excursion, a long
+        interrupts-off section): all serialized host work -- protocol
+        processing, RX drain, application copies -- is pushed past the
+        pause window.  Timers still fire on time; their handlers queue
+        behind the stall like real softirq work."""
+        self._cpu_busy_until = max(self._cpu_busy_until,
+                                   self.sim.now + max(0, int(duration_us)))
 
     # -- port dispatch -----------------------------------------------
 
@@ -162,6 +228,8 @@ class Host:
         return max(0, self.nic.tx_space() - self._pending_xmit)
 
     def _packet_arrived(self, pkt: NetPacket) -> None:
+        if self.crashed:
+            return  # nothing is listening; the NIC guards make this rare
         if pkt.corrupted:
             # the header checksum (RFC 1071, over header+payload)
             # catches in-flight bit errors; damaged packets are dropped

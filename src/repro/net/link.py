@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.sim.engine import Simulator, US_PER_SEC
+from repro.sim.rng import substream
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.nic import NetworkInterface
@@ -34,7 +35,8 @@ class SharedLink:
     """
 
     def __init__(self, sim: Simulator, bandwidth_bps: float,
-                 prop_delay_us: int = 5, name: str = "eth0"):
+                 prop_delay_us: int = 5, name: str = "eth0",
+                 seed: int = 0):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
         self.sim = sim
@@ -45,6 +47,14 @@ class SharedLink:
         self._busy_until: int = 0
         self.frames_carried = 0
         self.bytes_carried = 0
+        # -- fault-injection hooks (repro.faults) ------------------------
+        # Structural loss draws come from the NICs; faults use their own
+        # substream so enabling a fault never perturbs the structural RNG
+        # sequences of an otherwise identical run.
+        self.up = True                 # link flap: down drops every frame
+        self.fault_loss_rate = 0.0     # link degrade: extra random loss
+        self.fault_drops = 0
+        self._fault_rng = substream(seed, f"fault:link:{name}")
 
     def attach(self, nic: "NetworkInterface") -> None:
         self._nics.append(nic)
@@ -67,6 +77,13 @@ class SharedLink:
     def broadcast(self, pkt: "NetPacket", sender: "NetworkInterface",
                   end_us: int) -> None:
         """Deliver ``pkt`` to every other interface after propagation."""
+        if not self.up:
+            self.fault_drops += 1
+            return
+        if self.fault_loss_rate > 0.0 and \
+                self._fault_rng.random() < self.fault_loss_rate:
+            self.fault_drops += 1
+            return
         self.frames_carried += 1
         self.bytes_carried += pkt.wire_bytes
         arrive = end_us + self.prop_delay_us

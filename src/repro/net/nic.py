@@ -94,6 +94,16 @@ class NetworkInterface:
         self.rx_ring_drops = 0
         self.rx_loss_drops = 0
         self.filtered = 0
+        # -- fault-injection hooks (repro.faults) ------------------------
+        # Fault draws come from a dedicated substream so that arming a
+        # fault never perturbs the structural ``rx_loss_rate`` sequence.
+        self.powered = True
+        self.fault_rx_drop_until = -1   # burst drop: drop all rx until t
+        self.fault_rx_loss_rate = 0.0   # extra random rx loss
+        self.fault_corrupt_rate = 0.0   # bit errors; host checksum drops
+        self.fault_drops = 0
+        self.fault_corruptions = 0
+        self._fault_rng = substream(seed, f"fault:nic:{addr}")
 
     # -- wiring ---------------------------------------------------------
 
@@ -109,6 +119,22 @@ class NetworkInterface:
     def in_group(self, group: str) -> bool:
         return group in self._groups
 
+    # -- power (host crash/restart) --------------------------------------
+
+    def power_off(self) -> None:
+        """Host crash: both rings lose their contents and the card goes
+        deaf.  In-flight completion callbacks are disarmed by the
+        head-identity guards in the done handlers."""
+        self.powered = False
+        self._tx_queue.clear()
+        self._rx_queue.clear()
+        self._tx_active = False
+        self._rx_active = False
+
+    def power_on(self) -> None:
+        """Restart with empty rings (ring contents died with the host)."""
+        self.powered = True
+
     # -- transmit path ---------------------------------------------------
 
     def tx_space(self) -> int:
@@ -121,6 +147,11 @@ class NetworkInterface:
         mirroring driver back-pressure."""
         if self._port is None:
             raise RuntimeError(f"{self.name} not attached to a medium")
+        if not self.powered:
+            # a dead card accepts and loses the frame; the caller (a
+            # crashed host's last scheduled work) must not spin on retry
+            self.fault_drops += 1
+            return True
         if len(self._tx_queue) >= self.tx_ring_cap:
             return False
         self._tx_queue.append(pkt)
@@ -138,6 +169,8 @@ class NetworkInterface:
         self.sim.call_at(end, self._tx_done, pkt, end)
 
     def _tx_done(self, pkt: NetPacket, end_us: int) -> None:
+        if not self._tx_queue or self._tx_queue[0] is not pkt:
+            return  # ring torn down (power_off) while this frame was in flight
         self._tx_queue.popleft()
         self.tx_packets += 1
         self.tx_bytes += pkt.wire_bytes
@@ -159,6 +192,18 @@ class NetworkInterface:
             if not (is_multicast(pkt.dst) and pkt.dst in self._groups):
                 self.filtered += 1
                 return
+        if not self.powered or self.sim.now < self.fault_rx_drop_until:
+            self.fault_drops += 1
+            return
+        if self.fault_rx_loss_rate > 0.0 and \
+                self._fault_rng.random() < self.fault_rx_loss_rate:
+            self.fault_drops += 1
+            return
+        if self.fault_corrupt_rate > 0.0 and \
+                self._fault_rng.random() < self.fault_corrupt_rate:
+            # flip bits in our private fork; the host checksum drops it
+            pkt.corrupted = True
+            self.fault_corruptions += 1
         if self.rx_loss_rate > 0.0 and self._rng.random() < self.rx_loss_rate:
             self.rx_loss_drops += 1
             return
@@ -168,6 +213,9 @@ class NetworkInterface:
             self._rx_enqueue(pkt)
 
     def _rx_enqueue(self, pkt: NetPacket) -> None:
+        if not self.powered:
+            self.fault_drops += 1  # arrived via rx_latency after a crash
+            return
         if len(self._rx_queue) >= self.rx_ring_cap:
             self.rx_ring_drops += 1
             return
@@ -188,6 +236,8 @@ class NetworkInterface:
             self._rx_process(pkt)
 
     def _rx_process(self, pkt: NetPacket) -> None:
+        if not self._rx_queue or self._rx_queue[0] is not pkt:
+            return  # ring torn down (power_off) while waiting for rx_delay
         cost = self.rx_cost_fn(pkt) if self.rx_cost_fn else 0
         if self.cpu_run is not None:
             self.cpu_run(cost, lambda p=pkt: self._rx_done(p))
@@ -195,6 +245,8 @@ class NetworkInterface:
             self.sim.call_after(cost, self._rx_done, pkt)
 
     def _rx_done(self, pkt: NetPacket) -> None:
+        if not self._rx_queue or self._rx_queue[0] is not pkt:
+            return  # ring torn down (power_off) while the CPU worked on it
         self._rx_queue.popleft()
         self.rx_packets += 1
         self.rx_bytes += pkt.wire_bytes

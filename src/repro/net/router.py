@@ -57,6 +57,21 @@ class Pipe:
         self.queue_drops = 0
         self.loss_drops = 0
         self.corruptions = 0
+        # -- fault-injection hooks (repro.faults) ------------------------
+        self.up = True                 # flap: a down pipe drops everything
+        self.fault_loss_rate = 0.0     # degrade: extra loss, own substream
+        self.fault_drops = 0
+        self._fault_rng = substream(seed, f"fault:pipe:{self.name}")
+
+    def _fault_dropped(self, pkt: NetPacket) -> bool:
+        if not self.up:
+            self.fault_drops += 1
+            return True
+        if self.fault_loss_rate > 0.0 and \
+                self._fault_rng.random() < self.fault_loss_rate:
+            self.fault_drops += 1
+            return True
+        return False
 
     def connect(self, dst) -> None:
         """Attach the downstream end (Router or NetworkInterface)."""
@@ -71,6 +86,8 @@ class Pipe:
     def send(self, pkt: NetPacket) -> None:
         if self._dst is None:
             raise RuntimeError(f"{self.name} not connected")
+        if self._fault_dropped(pkt):
+            return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.loss_drops += 1
             return
@@ -103,6 +120,8 @@ class Pipe:
                   end_us: int) -> None:
         if self._dst is None:
             raise RuntimeError(f"{self.name} not connected")
+        if self._fault_dropped(pkt):
+            return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.loss_drops += 1
             return

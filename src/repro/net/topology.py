@@ -45,11 +45,21 @@ class Network:
 
     def drop_summary(self) -> dict[str, int]:
         """Aggregate drop counters across the fabric."""
-        summary = {"nic_rx_ring": 0, "nic_rx_loss": 0}
+        summary = {"nic_rx_ring": 0, "nic_rx_loss": 0, "nic_fault": 0,
+                   "nic_corrupt": 0}
         for nic in self.nics.values():
             summary["nic_rx_ring"] += nic.rx_ring_drops
             summary["nic_rx_loss"] += nic.rx_loss_drops
+            summary["nic_fault"] += nic.fault_drops
+            summary["nic_corrupt"] += nic.fault_corruptions
         return summary
+
+    def fault_surfaces(self) -> dict[str, object]:
+        """Name -> medium exposing the link-fault hooks (``up``,
+        ``fault_loss_rate``, ``fault_drops``) for the fault injector.
+        Keys are topology-specific (e.g. ``"lan"``, ``"group:A"``,
+        ``"rx:10.0.0.3"``)."""
+        return {}
 
 
 class EthernetLanTopology(Network):
@@ -59,7 +69,8 @@ class EthernetLanTopology(Network):
                  prop_delay_us: int = 5, seed: int = 0,
                  tx_ring: int = 100, rx_ring: int = 768):
         super().__init__(sim, seed)
-        self.link = SharedLink(sim, bandwidth_bps, prop_delay_us=prop_delay_us)
+        self.link = SharedLink(sim, bandwidth_bps,
+                               prop_delay_us=prop_delay_us, seed=seed)
         self.tx_ring = tx_ring
         self.rx_ring = rx_ring
 
@@ -69,6 +80,14 @@ class EthernetLanTopology(Network):
         self.link.attach(nic)
         nic.attach(self.link)
         return self.register(nic)
+
+    def fault_surfaces(self) -> dict[str, object]:
+        return {"lan": self.link}
+
+    def drop_summary(self) -> dict[str, int]:
+        summary = super().drop_summary()
+        summary["link_fault"] = self.link.fault_drops
+        return summary
 
 
 @dataclass(frozen=True)
@@ -117,14 +136,17 @@ class WanTreeTopology(Network):
         self._group_down: dict[str, Pipe] = {}   # backbone -> group router
         self._nic_group: dict[str, GroupSpec] = {}   # receiver addr -> spec
         self._nic_down: dict[str, Pipe] = {}     # group router -> NIC
+        self._pipes: list[Pipe] = []             # every pipe in the fabric
         self.sender_nic: NetworkInterface | None = None
 
     # -- construction ---------------------------------------------------
 
     def _pipe(self, name: str, *, prop: int, loss: float = 0.0) -> Pipe:
-        return Pipe(self.sim, self.speed_bps, prop_delay_us=prop,
+        pipe = Pipe(self.sim, self.speed_bps, prop_delay_us=prop,
                     queue_limit=self.queue_limit, loss_rate=loss,
                     seed=self.seed, name=name)
+        self._pipes.append(pipe)
+        return pipe
 
     def add_sender(self, addr: str) -> NetworkInterface:
         if self.sender_nic is not None:
@@ -197,6 +219,17 @@ class WanTreeTopology(Network):
         summary = super().drop_summary()
         summary["router_loss"] = sum(
             r.loss_drops for r in self._group_routers.values())
-        summary["pipe_loss"] = 0
-        summary["pipe_queue"] = 0
+        summary["pipe_loss"] = sum(p.loss_drops for p in self._pipes)
+        summary["pipe_queue"] = sum(p.queue_drops for p in self._pipes)
+        summary["pipe_fault"] = sum(p.fault_drops for p in self._pipes)
         return summary
+
+    def fault_surfaces(self) -> dict[str, object]:
+        """Downstream pipes: ``group:<name>`` cuts a whole characteristic
+        group off the backbone; ``rx:<addr>`` cuts one receiver."""
+        surfaces: dict[str, object] = {}
+        for name, pipe in self._group_down.items():
+            surfaces[f"group:{name}"] = pipe
+        for addr, pipe in self._nic_down.items():
+            surfaces[f"rx:{addr}"] = pipe
+        return surfaces

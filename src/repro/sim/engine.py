@@ -54,13 +54,19 @@ class Simulator:
         sim.run()
     """
 
+    #: heap compaction threshold: rebuild once more than half the heap
+    #: is cancelled entries (and it is big enough to matter)
+    COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now: int = 0
         self._heap: list[_Entry] = []
         self._order: int = 0
         self._live: int = 0  # non-cancelled entries in the heap
+        self._dead: int = 0  # cancelled entries still in the heap
         self._running = False
         self.events_processed: int = 0
+        self.compactions: int = 0
 
     @property
     def now(self) -> int:
@@ -91,10 +97,26 @@ class Simulator:
         return self.call_at(self._now + int(delay), callback, *args)
 
     def cancel(self, entry: _Entry) -> None:
-        """Cancel a previously scheduled entry (idempotent)."""
+        """Cancel a previously scheduled entry (idempotent).
+
+        Cancellation is lazy (the entry stays in the heap until popped),
+        but the heap is compacted once cancelled entries outnumber live
+        ones: restartable timers re-armed every jiffy would otherwise
+        accumulate dead entries for the whole run.
+        """
         if not entry.cancelled:
             entry.cancelled = True
             self._live -= 1
+            self._dead += 1
+            if self._dead > self.COMPACT_MIN and self._dead > self._live:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self.compactions += 1
 
     # -- execution ----------------------------------------------------
 
@@ -112,6 +134,7 @@ class Simulator:
                 entry = self._heap[0]
                 if entry.cancelled:
                     heapq.heappop(self._heap)
+                    self._dead -= 1
                     continue
                 if until is not None and entry.time > until:
                     break
@@ -135,6 +158,7 @@ class Simulator:
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             self._now = entry.time
@@ -151,4 +175,5 @@ class Simulator:
         """Time of the next live event, or ``None`` if drained."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._dead -= 1
         return self._heap[0].time if self._heap else None

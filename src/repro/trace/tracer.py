@@ -9,8 +9,9 @@ host.  Capture is observational: the protocol under trace is unchanged
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import asdict, dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.types import PacketType
 from repro.kernel.host import Host
@@ -54,12 +55,24 @@ class PacketTracer:
     >>> ... run the simulation ...
     >>> events = tracer.events
     >>> tracer.save("run.trace.jsonl")
+
+    With ``ring=True`` the capture keeps only the most recent
+    ``max_events`` records (a flight recorder for long chaos runs)
+    instead of truncating at the cap.  ``listeners`` are invoked for
+    every event before it is stored, independent of any cap, so online
+    consumers (e.g. the invariant checker) always see the full stream.
     """
 
-    def __init__(self, *, max_events: Optional[int] = None):
-        self.events: list[TraceEvent] = []
+    def __init__(self, *, max_events: Optional[int] = None,
+                 ring: bool = False):
+        if ring and max_events is None:
+            raise ValueError("ring=True requires max_events")
+        self.events: "list[TraceEvent] | deque[TraceEvent]" = \
+            deque(maxlen=max_events) if ring else []
+        self.ring = ring
         self.max_events = max_events
         self.dropped = 0
+        self.listeners: list[Callable[[TraceEvent], None]] = []
         self._hosts: list[Host] = []
 
     def attach(self, *hosts: Host) -> "PacketTracer":
@@ -79,16 +92,29 @@ class PacketTracer:
         name = host.addr
 
         def tap(direction: str, skb: SKBuff, peer: str, now: int) -> None:
-            if self.max_events is not None and \
+            ev = TraceEvent(
+                t_us=now, host=name, direction=direction, peer=peer,
+                ptype=int(skb.ptype), seq=skb.seq, length=skb.length,
+                rate_adv=skb.rate_adv, tries=skb.tries, flags=skb.flags)
+            for listener in self.listeners:
+                listener(ev)
+            if not self.ring and self.max_events is not None and \
                     len(self.events) >= self.max_events:
                 self.dropped += 1
                 return
-            self.events.append(TraceEvent(
-                t_us=now, host=name, direction=direction, peer=peer,
-                ptype=int(skb.ptype), seq=skb.seq, length=skb.length,
-                rate_adv=skb.rate_adv, tries=skb.tries, flags=skb.flags))
+            self.events.append(ev)
 
         return tap
+
+    def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Call ``fn(event)`` for every captured event (before storage)."""
+        self.listeners.append(fn)
+
+    def recent(self, n: int = 20) -> list[TraceEvent]:
+        """The last ``n`` captured events (most recent last)."""
+        if n <= 0:
+            return []
+        return list(self.events)[-n:]
 
     # -- persistence ------------------------------------------------------
 

@@ -11,7 +11,9 @@ Two scenario kinds cover the paper's evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.faults.plan import FaultPlan
 from repro.kernel.host import CostModel, Host
 from repro.net.addr import host_addr, mcast_addr
 from repro.net.topology import (EthernetLanTopology, GroupSpec, Network,
@@ -19,7 +21,7 @@ from repro.net.topology import (EthernetLanTopology, GroupSpec, Network,
 from repro.sim.engine import Simulator
 
 __all__ = ["Scenario", "LanScenario", "WanScenario", "build_lan",
-           "build_wan"]
+           "build_wan", "build_chaos"]
 
 SENDER_ADDR = "10.0.0.1"
 
@@ -36,6 +38,8 @@ class Scenario:
     group_addr: str = field(default_factory=lambda: mcast_addr(1))
     data_port: int = 6000
     sender_port: int = 5000
+    # optional chaos: executed by the harness when set (see repro.faults)
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def n_receivers(self) -> int:
@@ -86,3 +90,18 @@ def build_wan(group_specs: list[GroupSpec], bandwidth_bps: float, *,
         receivers.append(Host(sim, wan, nic, cost=cost))
     return WanScenario(sim=sim, network=wan, sender=sender,
                        receivers=receivers, bandwidth_bps=bandwidth_bps)
+
+
+def build_chaos(n_receivers: int, bandwidth_bps: float, *, seed: int,
+                horizon_us: int = 2_000_000, allow_crash: bool = True,
+                max_outage_us: Optional[int] = None,
+                cost: CostModel | None = None) -> LanScenario:
+    """A LAN scenario carrying a seed-random :class:`FaultPlan` sized to
+    a transfer that takes roughly ``horizon_us`` of simulated time.
+    The same seed drives both the topology and the plan, so one integer
+    reproduces the whole chaotic run."""
+    scenario = build_lan(n_receivers, bandwidth_bps, seed=seed, cost=cost)
+    scenario.fault_plan = FaultPlan.random(
+        seed, n_receivers=n_receivers, horizon_us=horizon_us,
+        allow_crash=allow_crash, max_outage_us=max_outage_us)
+    return scenario

@@ -8,7 +8,7 @@ import pytest
 from repro.core.config import HRMCConfig
 from repro.core.receiver import HRMCReceiver
 from repro.core.sender import HRMCSender
-from repro.kernel.host import CostModel
+from repro.kernel.host import CostModel, HostClock
 from repro.kernel.sock import Sock
 from repro.sim.engine import Simulator
 from repro.stats.metrics import Counters
@@ -20,6 +20,7 @@ class FakeHost:
     def __init__(self, sim, addr="10.0.0.1", tx_space=1000):
         self.sim = sim
         self.addr = addr
+        self.clock = HostClock(sim)
         self.cost = CostModel()
         self.sent: list[tuple] = []          # (skb, dst, time)
         self._tx_space = tx_space

@@ -4,9 +4,10 @@ comparisons paired)."""
 
 import pytest
 
+from repro.harness.experiments import chaos_config
 from repro.harness.runner import PROTOCOLS, run_transfer
 from repro.workloads.groups import GROUP_B
-from repro.workloads.scenarios import build_wan
+from repro.workloads.scenarios import build_chaos, build_wan
 
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)
@@ -20,5 +21,27 @@ def test_protocol_trace_reproducible(protocol):
                 res.sender_stats.data_pkts_sent,
                 res.sender_stats.retrans_pkts,
                 res.receiver_stats.feedback_total)
+
+    assert fingerprint() == fingerprint()
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("protocol", ["hrmc", "ack", "polling"])
+def test_chaos_run_reproducible(protocol):
+    """Fault injection must preserve determinism: arming the same plan
+    twice gives identical fault timing and identical protocol trace."""
+    def fingerprint():
+        sc = build_chaos(3, 10e6, seed=11, horizon_us=1_000_000,
+                         allow_crash=(protocol == "hrmc"),
+                         max_outage_us=300_000)
+        cfg = chaos_config() if protocol == "hrmc" else None
+        res = run_transfer(sc, nbytes=200_000, protocol=protocol,
+                           sndbuf=128 * 1024, cfg=cfg, invariants=True,
+                           max_sim_s=120)
+        return (sc.fault_plan.describe(), res.fault_events,
+                tuple(res.crashed_receivers), tuple(res.restarted_receivers),
+                res.duration_us, res.sim_events, res.invariant_checks,
+                res.sender_stats.data_pkts_sent,
+                res.sender_stats.retrans_pkts)
 
     assert fingerprint() == fingerprint()

@@ -40,10 +40,33 @@ def test_remove():
     t.check_consistency()
 
 
-def test_remove_unknown_is_noop():
+def test_remove_unknown_counts_implicit_departure_once():
+    # a LEAVE from an address whose JOIN was lost proves the receiver
+    # existed and is done: it joins the quorum tallies exactly once,
+    # even when the LEAVE is retransmitted
     t = MemberTable()
     assert t.remove(addr(9)) is False
-    assert t.leaves == 0
+    assert t.joins == 1 and t.leaves == 1
+    assert t.remove(addr(9)) is False
+    assert t.joins == 1 and t.leaves == 1
+    assert len(t) == 0
+
+
+def test_retried_leave_after_removal_not_recounted():
+    t = MemberTable()
+    t.add(addr(0), 1, 0)
+    assert t.remove(addr(0)) is True
+    assert t.remove(addr(0)) is False  # retransmitted LEAVE
+    assert t.joins == 1 and t.leaves == 1
+
+
+def test_rejoin_after_leave_counts_again():
+    t = MemberTable()
+    t.add(addr(0), 1, 0)
+    t.remove(addr(0))
+    t.add(addr(0), 50, 10)
+    t.remove(addr(0))
+    assert t.joins == 2 and t.leaves == 2
 
 
 def test_iteration_order_is_join_order():

@@ -109,3 +109,17 @@ def test_liveness_timer_not_tripped_by_idle_but_alive_sender():
     sc.sim.run(until=120_000_000)
     assert outcome.get("got") == 100_000
     assert outcome.get("error") is None
+
+
+def test_lost_join_on_tiny_transfer_does_not_deadlock_close():
+    """Regression (found by the chaos fuzzer): a 1-byte transfer ends
+    before the join-retry timer fires, so a receiver whose JOIN was
+    lost says LEAVE without the sender ever counting its join.  The
+    LEAVE must satisfy the join quorum, or the sender's close blocks
+    until the simulation horizon."""
+    sc = build_wan([GroupSpec("F", 1_000, 0.03125)] * 2, 10e6, seed=123)
+    res = run_transfer(sc, nbytes=1, sndbuf=16 * 1024, verify="bytes",
+                       max_sim_s=900)
+    # ok requires the sender's close handshake to have completed too
+    assert res.ok, [r.bytes_done for r in res.per_receiver]
+    assert res.sender_stats.keepalives_sent < 5  # no multi-second stall

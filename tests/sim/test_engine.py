@@ -145,3 +145,47 @@ def test_events_processed_counter():
         sim.call_at(i, lambda: None)
     sim.run()
     assert sim.events_processed == 4
+
+
+def test_compaction_purges_cancelled_entries():
+    """Cancelling most of a large heap triggers compaction, and the
+    surviving events still fire in order."""
+    sim = Simulator()
+    fired = []
+    entries = [sim.call_at(i + 1, fired.append, i + 1) for i in range(500)]
+    # cancel everything but every 10th event: dead quickly outnumbers
+    # live past COMPACT_MIN, so the heap must rebuild at least once
+    for i, e in enumerate(entries):
+        if (i + 1) % 10:
+            sim.cancel(e)
+    assert sim.compactions > 0
+    # the heap holds the 50 live entries plus only the few cancelled
+    # since the last rebuild -- not all 450 dead ones
+    assert sim.pending() == 50
+    assert len(sim._heap) == 50 + sim._dead < 500
+    sim.run()
+    assert fired == list(range(10, 501, 10))
+
+
+def test_no_compaction_below_threshold():
+    """Tiny heaps are not worth rebuilding."""
+    sim = Simulator()
+    entries = [sim.call_at(i + 1, lambda: None) for i in range(20)]
+    for e in entries:
+        sim.cancel(e)
+    assert sim.compactions == 0
+    sim.run()
+
+
+def test_compaction_counters_consistent_after_run():
+    sim = Simulator()
+    fired = []
+    for round_ in range(5):
+        entries = [sim.call_at(sim.now + i + 1, fired.append, round_)
+                   for i in range(200)]
+        for e in entries[:150]:
+            sim.cancel(e)
+        sim.run()
+    assert len(fired) == 5 * 50
+    assert sim.pending() == 0
+    assert sim._dead == 0

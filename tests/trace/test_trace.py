@@ -9,6 +9,7 @@ from repro.trace import (PacketTracer, feedback_latency, load_trace,
                          packet_summary, sequence_progress, sparkline,
                          throughput_timeline)
 from repro.trace.tracer import TraceEvent
+from repro.net.topology import GroupSpec
 from repro.workloads.groups import GROUP_B
 from repro.workloads.scenarios import build_lan, build_wan
 
@@ -78,10 +79,17 @@ def test_sequence_progress_monotone(traced_run):
     assert seqs[-1] >= 300_000
 
 
-def test_feedback_latency_measured_under_loss(traced_run):
-    sc, tracer, res = traced_run
-    if res.sender_stats.naks_rcvd == 0:
-        pytest.skip("no loss this seed")
+def test_feedback_latency_measured_under_loss():
+    # standalone lossy run (2% per receiver) so NAKs are guaranteed,
+    # independent of what the shared fixture's seed happens to drop
+    lossy = GroupSpec("L", delay_us=20_000, loss_rate=0.02)
+    sc = build_wan([lossy] * 3, 10e6, seed=7)
+    tracer = PacketTracer().attach(sc.sender, *sc.receivers)
+    res = run_transfer(sc, nbytes=300_000, sndbuf=256 * 1024,
+                       max_sim_s=300)
+    tracer.detach()
+    assert res.ok
+    assert res.sender_stats.naks_rcvd > 0
     lat = feedback_latency(tracer.events, sender=sc.sender.addr)
     assert lat["samples"] > 0
     assert 0 <= lat["mean_us"] <= lat["max_us"]
