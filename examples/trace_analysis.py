@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Protocol forensics: capture a lossy WAN transfer and dissect it.
 
-Attaches a packet tracer (the simulated tcpdump) to every host, runs a
-2 % -loss wide-area transfer, and prints what actually happened on the
-wire: the packet mix, retransmission ratio, repair latency, and
-terminal sparklines of goodput and stream progress.
+Attaches a packet tracer (the simulated tcpdump) and the observability
+layer to every host, runs a 2 % -loss wide-area transfer, and prints
+what actually happened on the wire: the packet mix, retransmission
+ratio, repair latency, terminal sparklines of goodput and stream
+progress, and the NAK->repair recovery-latency histogram stitched from
+the packet-lifecycle spans.
 
 Run:  python examples/trace_analysis.py
 """
 
 from repro.harness.runner import run_transfer
+from repro.obs import Observability
 from repro.stats.report import format_table
 from repro.trace import (PacketTracer, feedback_latency, packet_summary,
                          sequence_progress, sparkline, throughput_timeline)
@@ -21,9 +24,10 @@ NBYTES = 1_000_000
 
 def main() -> None:
     scenario = build_wan([GROUP_C] * 5, 10e6, seed=13)
-    tracer = PacketTracer().attach(scenario.sender, *scenario.receivers)
+    tracer = PacketTracer()
+    obs = Observability()
     res = run_transfer(scenario, nbytes=NBYTES, sndbuf=512 * 1024,
-                       max_sim_s=600)
+                       max_sim_s=600, tracer=tracer, obs=obs)
     tracer.detach()
 
     print(f"transfer: {NBYTES / 1e6:g} MB to 5 WAN receivers "
@@ -55,6 +59,22 @@ def main() -> None:
     t, seqs = sequence_progress(tracer.events, rcv)
     print(f"stream progress at {rcv} (flat spots = recovery stalls):")
     print("  " + sparkline(seqs))
+
+    # end-to-end recovery latency (NAK sent -> covering DATA delivered),
+    # from the observability layer's packet-lifecycle spans -- a
+    # receiver-side view that includes the round trip the sender-side
+    # feedback_latency figure above cannot see
+    recovery = obs.spans.recovery_us
+    if recovery.count:
+        print("\nrecovery latency, NAK out -> repair in "
+              "(packet-lifecycle spans):")
+        print(recovery.render())
+        bursts = [s for s in obs.spans.spans if s.name == "recovery-burst"]
+        if bursts:
+            longest = max(bursts, key=lambda s: s.dur_us)
+            print(f"\n{len(bursts)} recovery burst(s); longest "
+                  f"{longest.dur_us / 1000:.1f} ms at {longest.host} "
+                  f"(t={longest.start_us / 1000:.0f} ms)")
 
 
 if __name__ == "__main__":

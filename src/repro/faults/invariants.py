@@ -37,11 +37,14 @@ __all__ = ["InvariantChecker", "InvariantViolation"]
 
 
 class InvariantViolation(AssertionError):
-    """A protocol safety property failed; carries the trace tail."""
+    """A protocol safety property failed; carries the trace tail and,
+    when the run was observed, a metrics snapshot taken at failure."""
 
-    def __init__(self, message: str, trace: Optional[list] = None):
+    def __init__(self, message: str, trace: Optional[list] = None,
+                 metrics: Optional[dict] = None):
         self.violation = message
         self.trace = list(trace or [])
+        self.metrics = dict(metrics or {})
         if self.trace:
             lines = "\n".join(
                 f"  t={e.t_us:>10} {e.host:>10} {e.direction} "
@@ -49,6 +52,10 @@ class InvariantViolation(AssertionError):
                 f"tries={e.tries}" for e in self.trace)
             message = f"{message}\nlast {len(self.trace)} trace events:\n" \
                       f"{lines}"
+        if self.metrics:
+            lines = "\n".join(f"  {name} = {value}"
+                              for name, value in self.metrics.items())
+            message = f"{message}\nmetrics at failure:\n{lines}"
         super().__init__(message)
 
 
@@ -63,8 +70,9 @@ class InvariantChecker:
     #: trace-tail length attached to violations
     TRACE_TAIL = 16
 
-    def __init__(self, tracer: PacketTracer):
+    def __init__(self, tracer: PacketTracer, obs=None):
         self.tracer = tracer
+        self.obs = obs   # optional Observability: snapshot on failure
         self.checks = 0
         self._senders: list = []
         self._receivers: list = []
@@ -114,7 +122,10 @@ class InvariantChecker:
             self._check_receiver(t, audit=True)
 
     def _fail(self, message: str) -> None:
-        raise InvariantViolation(message, self.tracer.recent(self.TRACE_TAIL))
+        snapshot = self.obs.snapshot() if self.obs is not None else None
+        raise InvariantViolation(message,
+                                 self.tracer.recent(self.TRACE_TAIL),
+                                 metrics=snapshot)
 
     # -- sender-side properties ----------------------------------------
 

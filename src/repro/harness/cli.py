@@ -7,11 +7,20 @@ Usage::
     hrmc-experiments --all
     hrmc-experiments --all --scale full
     hrmc-experiments --chaos-seed 10
-    hrmc-experiments --fault-plan plan.json
+    hrmc-experiments --fault-plan plan.json --metrics-out out/
+    hrmc-experiments report lan --receivers 5 --metrics-out out/
 
 (or ``python -m repro.harness.cli``).  ``--chaos-seed``/``--fault-plan``
 run one fault-injected transfer with the invariant checker attached and
-print what happened (see :mod:`repro.faults`).
+print what happened (see :mod:`repro.faults`).  ``--metrics-out DIR``
+additionally attaches the observability layer (:mod:`repro.obs`) and
+writes its artifacts -- JSONL/CSV metric series, a text summary and a
+Perfetto-loadable trace -- into ``DIR``.
+
+The ``report`` subcommand runs one observed transfer of a canned
+scenario (``lan``, ``wan`` or ``chaos``) and prints the observability
+summary: metric series, packet-lifecycle latency, protocol phases and
+the engine profile.
 """
 
 from __future__ import annotations
@@ -47,13 +56,21 @@ def _run_chaos(args) -> int:
                                horizon_us=1_000_000)
         plan = scenario.fault_plan
     print(plan.describe())
+    obs = None
+    if args.metrics_out:
+        from repro.obs import Observability
+        obs = Observability(profile=True)
     try:
         result = run_transfer(scenario, protocol="hrmc", nbytes=args.nbytes,
                               sndbuf=128 * 1024, cfg=chaos_config(),
-                              invariants=True, max_sim_s=120)
+                              invariants=True, max_sim_s=120, obs=obs)
     except ValueError as exc:  # e.g. plan targets a missing receiver
         print(f"cannot run fault plan: {exc}", file=sys.stderr)
         return 2
+    if obs is not None:
+        paths = obs.write_artifacts(args.metrics_out, prefix="chaos")
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
     print(f"fault events: {result.fault_events}  "
           f"crashed: {result.crashed_receivers}  "
           f"restarted: {result.restarted_receivers}  "
@@ -69,7 +86,73 @@ def _run_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _run_report(argv) -> int:
+    """``report`` subcommand: one observed transfer + obs summary."""
+    from repro.harness.runner import run_transfer
+    from repro.obs import Observability
+    from repro.workloads.groups import expand_test_case
+    from repro.workloads.scenarios import build_chaos, build_lan, build_wan
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments report",
+        description="Run one observed transfer and print the "
+                    "observability report (metric series, packet "
+                    "lifecycle latency, protocol phases, profile).")
+    parser.add_argument("scenario", choices=("lan", "wan", "chaos"),
+                        help="canned scenario to observe")
+    parser.add_argument("--receivers", type=int, default=5)
+    parser.add_argument("--nbytes", type=int, default=500_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--bandwidth", type=float, default=10.0,
+                        metavar="MBPS", help="link bandwidth in Mbit/s")
+    parser.add_argument("--protocol", default="hrmc",
+                        help="protocol to run (default hrmc)")
+    parser.add_argument("--wan-test", type=int, default=2, metavar="N",
+                        help="characteristic-group test case for wan")
+    parser.add_argument("--metrics-out", metavar="DIR", default=None,
+                        help="also write JSONL/CSV series, summary and "
+                             "Perfetto trace into DIR")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the engine profiler")
+    args = parser.parse_args(argv)
+
+    bw = args.bandwidth * 1e6
+    if args.scenario == "lan":
+        scenario = build_lan(args.receivers, bw, seed=args.seed)
+    elif args.scenario == "wan":
+        specs = expand_test_case(args.wan_test, args.receivers)
+        scenario = build_wan(specs, bw, seed=args.seed)
+    else:
+        scenario = build_chaos(args.receivers, bw, seed=args.seed,
+                               horizon_us=1_000_000, allow_crash=False)
+
+    obs = Observability(profile=not args.no_profile)
+    kwargs = {}
+    if args.scenario == "chaos":
+        from repro.harness.experiments import chaos_config
+        kwargs = {"cfg": chaos_config(), "invariants": True,
+                  "sndbuf": 128 * 1024}
+    result = run_transfer(scenario, nbytes=args.nbytes,
+                          protocol=args.protocol, obs=obs,
+                          max_sim_s=300, **kwargs)
+    print(f"{args.scenario} x{args.receivers} {args.protocol} "
+          f"{args.nbytes} bytes: ok={result.ok} "
+          f"throughput={result.throughput_mbps:.2f} Mbit/s "
+          f"duration={result.duration_us / 1e6:.3f} s\n")
+    print(obs.summary())
+    if args.metrics_out:
+        paths = obs.write_artifacts(args.metrics_out,
+                                    prefix=args.scenario)
+        print()
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        return _run_report(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hrmc-experiments",
         description="Regenerate the tables and figures of the H-RMC "
@@ -95,6 +178,10 @@ def main(argv=None) -> int:
                         help="receiver count for --chaos-seed/--fault-plan")
     parser.add_argument("--nbytes", type=int, default=250_000,
                         help="transfer size for --chaos-seed/--fault-plan")
+    parser.add_argument("--metrics-out", metavar="DIR", default=None,
+                        help="attach the observability layer to the "
+                             "chaos run and write metric series, summary "
+                             "and Perfetto trace into DIR")
     args = parser.parse_args(argv)
 
     if args.chaos_seed is not None or args.fault_plan:

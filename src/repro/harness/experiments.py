@@ -575,16 +575,24 @@ def chaos_suite(scale: Optional[str] = None) -> Report:
     without restart) with the protocol-invariant checker attached.
     The claim under test: every safety property holds through every
     fault, and surviving receivers always get the whole stream."""
+    from repro.obs import Observability
+
     n_seeds = 12 if _scale(scale) == "full" else 6
     nbytes = 250_000
     rep = Report("chaos", "H-RMC under seeded fault injection "
                           "(3 receivers, 10 Mbps LAN)")
     rows = []
+    obs_tables = []
     for seed in range(1, n_seeds + 1):
         sc = build_chaos(3, MBPS_10, seed=seed, horizon_us=1_000_000)
+        # one observed run per sweep: the first seed doubles as the
+        # suite's observability sample (metrics + spans in the report)
+        obs = Observability() if seed == 1 else None
         res = run_transfer(sc, nbytes=nbytes, sndbuf=128 * 1024,
                            cfg=chaos_config(), invariants=True,
-                           max_sim_s=120)
+                           max_sim_s=120, obs=obs)
+        if obs is not None:
+            obs_tables = obs.summary_tables()
         rows.append([seed, len(sc.fault_plan), res.fault_events,
                      ",".join(map(str, res.crashed_receivers)) or "-",
                      ",".join(map(str, res.restarted_receivers)) or "-",
@@ -593,6 +601,8 @@ def chaos_suite(scale: Optional[str] = None) -> Report:
     rep.add("chaos sweep",
             ["seed", "plan actions", "fault events", "crashed",
              "restarted", "invariant checks", "survivors ok"], rows)
+    for title, headers, obs_rows in obs_tables:
+        rep.add(f"seed 1 observability: {title}", headers, obs_rows)
     rep.notes.append("expect: 'survivors ok' on every seed and zero "
                      "invariant violations (a violation aborts the run "
                      "with the offending trace slice).")

@@ -25,6 +25,7 @@ from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import FaultPlan
 from repro.kernel.payload import PatternPayload
 from repro.kernel.socket_api import Socket
+from repro.obs.observer import Observability
 from repro.rmc import open_rmc_socket
 from repro.sim.engine import US_PER_SEC
 from repro.sim.process import Process
@@ -63,6 +64,8 @@ class TransferResult:
     restarted_receivers: list = field(default_factory=list)
     invariant_checks: int = 0
     rejoin_results: list = field(default_factory=list)
+    # observability (set when the run was passed obs=Observability(...))
+    obs: Optional[Observability] = None
 
     @property
     def throughput_mbps(self) -> float:
@@ -109,7 +112,8 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
                  max_sim_s: float = 3600.0,
                  fault_plan: Optional[FaultPlan] = None,
                  invariants: bool = False,
-                 tracer: Optional[PacketTracer] = None) -> TransferResult:
+                 tracer: Optional[PacketTracer] = None,
+                 obs: Optional[Observability] = None) -> TransferResult:
     """Transfer ``nbytes`` from the scenario's sender to every receiver.
 
     ``sndbuf`` is the per-socket kernel buffer of the experiments' x
@@ -123,6 +127,12 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
     unsafe state.  Pass a ``tracer`` to keep the capture (the harness
     attaches it to every host); otherwise the checker runs on an
     internal flight-recorder tracer.
+
+    ``obs`` attaches a :class:`~repro.obs.observer.Observability`
+    instance for the run: gauges are scraped on simulated time, spans
+    are stitched from the packet tap, and the finished instance is
+    returned on ``TransferResult.obs``.  Observation is read-only and
+    does not change protocol behaviour.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}")
@@ -135,12 +145,12 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
     if fault_plan is not None and protocol == "tcp":
         raise ValueError("fault plans are not supported for the "
                          "tcp-like reference (sequential unicast)")
-    if tracer is not None or invariants:
+    if tracer is not None or invariants or obs is not None:
         if tracer is None:
             # flight recorder: bounded memory, listeners see everything
             tracer = PacketTracer(max_events=256, ring=True)
         tracer.attach(scenario.sender, *scenario.receivers)
-    checker = InvariantChecker(tracer) if invariants else None
+    checker = InvariantChecker(tracer, obs=obs) if invariants else None
 
     base = cfg or HRMCConfig()
     if protocol in ("hrmc", "rmc"):
@@ -161,6 +171,8 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
         sockets = _run_tcp_sequential(scenario, nbytes, sndbuf, rcvbuf,
                                       sender_result, receiver_results,
                                       disks, chunk, verify)
+        if obs is not None:
+            obs.attach(scenario, tracer)
     else:
         ssock = _open_socket(protocol, scenario.sender, base,
                              sndbuf=sndbuf, rcvbuf=rcvbuf, n_receivers=n)
@@ -182,6 +194,8 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
                                 disk=disks.get("sender"), chunk=chunk),
                 name="sender")
         sockets = (ssock, rsocks)
+        if obs is not None:
+            obs.attach(scenario, tracer, ssock=ssock, rsocks=rsocks)
         if checker is not None:
             checker.watch_sender(ssock.transport)
             for rsock in rsocks:
@@ -212,11 +226,16 @@ def run_transfer(scenario: Scenario, *, nbytes: int,
         injector.register_receivers(rsocks, rprocs, restart_fn=rejoin)
         injector.arm()
 
-    sim.run(until=round(max_sim_s * US_PER_SEC))
-    if checker is not None:
-        checker.final_check()
+    try:
+        sim.run(until=round(max_sim_s * US_PER_SEC))
+        if checker is not None:
+            checker.final_check()
+    finally:
+        if obs is not None:
+            obs.finalize(sim.now)
     result = _collect(scenario, protocol, nbytes, sockets, sender_result,
                       receiver_results)
+    result.obs = obs
     if injector is not None:
         result.fault_events = injector.fault_events
         result.crashed_receivers = sorted(injector.crashed)

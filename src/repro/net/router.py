@@ -54,6 +54,7 @@ class Pipe:
         self._busy_until = 0
         self._queued = 0
         self.forwarded = 0
+        self.bytes_carried = 0   # payload of every delivered packet
         self.queue_drops = 0
         self.loss_drops = 0
         self.corruptions = 0
@@ -106,6 +107,7 @@ class Pipe:
     def _deliver(self, pkt: NetPacket) -> None:
         self._queued -= 1
         self.forwarded += 1
+        self.bytes_carried += pkt.wire_bytes
         pkt.hops += 1
         self._dst(pkt)
 
@@ -126,6 +128,7 @@ class Pipe:
             self.loss_drops += 1
             return
         self.forwarded += 1
+        self.bytes_carried += pkt.wire_bytes
         self.sim.call_at(end_us + self.prop_delay_us, self._dst, pkt)
 
 

@@ -1,0 +1,34 @@
+"""Unified observability layer.
+
+``repro.obs`` instruments a scenario without perturbing it:
+
+* :mod:`repro.obs.metrics` -- deterministic counters, gauges, fixed-
+  bucket histograms and time series, sampled on simulated time,
+* :mod:`repro.obs.spans` -- packet-lifecycle latency histograms and
+  protocol-phase spans stitched from the packet tap,
+* :mod:`repro.obs.profiler` -- simulated-time and wall-clock
+  attribution per engine callback site,
+* :mod:`repro.obs.export` -- JSONL/CSV series dumps, text summaries
+  and Chrome Trace Event Format JSON for Perfetto,
+* :mod:`repro.obs.observer` -- the :class:`Observability` facade that
+  wires the above into ``run_transfer(obs=...)``.
+"""
+
+from repro.obs.export import (chrome_trace, summary_text,
+                              write_chrome_trace, write_series_csv,
+                              write_series_jsonl)
+from repro.obs.metrics import (LATENCY_BOUNDS_US, Counter, Histogram,
+                               MetricsRegistry, TimeSeries)
+from repro.obs.observer import Observability
+from repro.obs.profiler import SimProfiler, SiteStats, site_of
+from repro.obs.spans import Span, SpanCollector
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry", "Counter", "Histogram", "TimeSeries",
+    "LATENCY_BOUNDS_US",
+    "Span", "SpanCollector",
+    "SimProfiler", "SiteStats", "site_of",
+    "chrome_trace", "summary_text", "write_chrome_trace",
+    "write_series_csv", "write_series_jsonl",
+]

@@ -1,0 +1,282 @@
+"""The observability facade: wire metrics, spans and the profiler into
+a scenario without perturbing it.
+
+``Observability`` attaches three read-only instruments to a built
+scenario:
+
+* a **scrape process** that samples registered gauges (window
+  occupancy, socket-buffer usage, repair-cache bytes, advertised rate,
+  NAK/UPDATE/retransmission rates, engine queue depth, per-link
+  utilisation) into time series every ``scrape_interval_us`` of
+  simulated time,
+* a **span collector** riding the packet tap as a raw listener
+  (packet-lifecycle latency histograms and protocol-phase spans), and
+* optionally the **engine profiler** (simulated-time and wall-clock
+  attribution per callback site).
+
+Zero-perturbation guarantee: every gauge is a pure read, the span
+collector never copies or mutates segments, and the scrape events only
+interleave with -- never reorder -- protocol events (engine FIFO order
+among same-time events is preserved, and no RNG stream is consumed).
+A run with observability attached therefore produces a byte-identical
+packet trace and final counters to an unobserved run; the regression
+test in ``tests/obs`` holds this line.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.seq import seq_sub
+from repro.obs.export import (summary_text, write_chrome_trace,
+                              write_series_csv, write_series_jsonl)
+from repro.obs.metrics import LATENCY_BOUNDS_US, MetricsRegistry
+from repro.obs.profiler import SimProfiler
+from repro.obs.spans import SpanCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.tracer import PacketTracer
+    from repro.workloads.scenarios import Scenario
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """One observed run: construct, pass to ``run_transfer(obs=...)``.
+
+    Parameters
+    ----------
+    scrape_interval_us:
+        Simulated time between gauge samples (default 50 ms -- five
+        jiffies, fine enough to see rate-control dynamics without
+        bloating dumps).
+    profile:
+        Attach the engine profiler (adds a few percent of wall-clock
+        overhead; simulated behaviour is unaffected either way).
+    latency_bounds:
+        Histogram bucket edges for the packet-lifecycle spans.
+    """
+
+    def __init__(self, *, scrape_interval_us: int = 50_000,
+                 profile: bool = False,
+                 latency_bounds=LATENCY_BOUNDS_US):
+        if scrape_interval_us <= 0:
+            raise ValueError("scrape_interval_us must be positive")
+        self.scrape_interval_us = int(scrape_interval_us)
+        self.registry = MetricsRegistry()
+        self.profiler: Optional[SimProfiler] = \
+            SimProfiler() if profile else None
+        self.spans: Optional[SpanCollector] = None
+        self._latency_bounds = latency_bounds
+        self._sim = None
+        self.attached = False
+        self.finalized_at_us: Optional[int] = None
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, scenario: "Scenario", tracer: "PacketTracer", *,
+               ssock=None, rsocks=()) -> "Observability":
+        """Register gauges over the scenario's layers, hook the span
+        collector onto the tracer and start the scrape loop.  Call
+        after sockets exist and before the simulation runs (the harness
+        does this when given ``obs=``)."""
+        if self.attached:
+            raise RuntimeError("Observability instance already attached")
+        self.attached = True
+        self._sim = sim = scenario.sim
+        reg = self.registry
+
+        self.spans = SpanCollector(scenario.sender.addr,
+                                   self._latency_bounds)
+        tracer.add_raw_listener(self.spans.on_event)
+
+        # engine
+        reg.gauge("engine.queue_depth", sim.pending)
+        reg.rate_gauge("engine.events_per_s",
+                       lambda: sim.events_processed)
+
+        # sender endpoint (roles are created lazily at connect/join; a
+        # gauge returning None simply skips the sample)
+        if ssock is not None:
+            t = ssock.transport
+            reg.gauge("sender.sndbuf_used_bytes",
+                      lambda: self._sock_bytes(t, "write_queue"))
+            reg.gauge("sender.window_bytes", lambda: self._window_bytes(t))
+            reg.gauge("sender.rate_adv_bps", lambda: self._rate_bps(t))
+            reg.gauge("sender.members", lambda: self._members(t))
+            stats = t.stats
+            reg.rate_gauge("sender.naks_per_s", lambda: stats.naks_rcvd)
+            reg.rate_gauge("sender.updates_per_s",
+                           lambda: stats.updates_rcvd)
+            reg.rate_gauge("sender.retrans_per_s",
+                           lambda: stats.retrans_pkts)
+            reg.rate_gauge("sender.data_bytes_per_s",
+                           lambda: stats.data_bytes_sent)
+
+        # receiver endpoints, aggregated (per-host series would explode
+        # for the 100-receiver scaling scenarios)
+        rsocks = list(rsocks)
+        if rsocks:
+            reg.gauge("recv.rcvbuf_used_bytes",
+                      lambda: self._sum(rsocks, self._rcvbuf_used))
+            reg.gauge("recv.repair_cache_bytes",
+                      lambda: self._sum(rsocks, self._repair_cache))
+            reg.gauge("recv.nak_ranges",
+                      lambda: self._sum(rsocks, self._nak_ranges))
+
+        # network fabric
+        for name, medium in self._link_surfaces(scenario.network):
+            bw = float(getattr(medium, "bandwidth_bps", 0.0) or
+                       scenario.bandwidth_bps)
+            reg.rate_gauge(f"link.{name}.util_pct",
+                           (lambda m: lambda: m.bytes_carried)(medium),
+                           unit="%", scale=800.0 / bw)
+        reg.rate_gauge("net.drops_per_s",
+                       lambda: sum(scenario.network.drop_summary()
+                                   .values()))
+
+        if self.profiler is not None:
+            sim.profiler = self.profiler
+
+        self._tick()   # scrape t=0, then self-schedule
+        return self
+
+    def _tick(self) -> None:
+        self.registry.scrape(self._sim.now)
+        # re-arm only while other work is scheduled: when the protocol
+        # drains, the scrape loop stops instead of ticking to the run's
+        # time horizon
+        if self._sim.pending() > 0:
+            self._sim.call_after(self.scrape_interval_us, self._tick)
+
+    def finalize(self, now_us: int) -> None:
+        """Final scrape and span close-out; the harness calls this when
+        the simulation stops."""
+        if self.finalized_at_us is not None:
+            return
+        self.finalized_at_us = now_us
+        self.registry.scrape(now_us)
+        if self.spans is not None:
+            self.spans.finalize(now_us)
+
+    # -- gauge helpers (pure reads, defensive against role lifecycles) --
+
+    @staticmethod
+    def _sock_bytes(transport, queue: str) -> Optional[int]:
+        sock = getattr(transport, "sock", None)
+        q = getattr(sock, queue, None)
+        return None if q is None else q.bytes
+
+    @staticmethod
+    def _window_bytes(transport) -> Optional[int]:
+        sender = getattr(transport, "sender", None)
+        if sender is not None:
+            return seq_sub(sender.snd_nxt, sender.snd_wnd)
+        if hasattr(transport, "snd_nxt") and hasattr(transport, "snd_una"):
+            return seq_sub(transport.snd_nxt, transport.snd_una)
+        if hasattr(transport, "snd_nxt") and hasattr(transport, "snd_wnd"):
+            return seq_sub(transport.snd_nxt, transport.snd_wnd)
+        return None
+
+    @staticmethod
+    def _rate_bps(transport) -> Optional[int]:
+        sender = getattr(transport, "sender", None)
+        rate = getattr(sender, "rate", None)
+        return None if rate is None else rate.rate_bps
+
+    @staticmethod
+    def _members(transport) -> Optional[int]:
+        sender = getattr(transport, "sender", None)
+        members = getattr(sender, "members", None)
+        return None if members is None else len(members)
+
+    @staticmethod
+    def _sum(socks, fn) -> Optional[float]:
+        values = [v for v in (fn(s.transport) for s in socks)
+                  if v is not None]
+        return sum(values) if values else None
+
+    @staticmethod
+    def _rcvbuf_used(transport) -> Optional[int]:
+        sock = getattr(transport, "sock", None)
+        return None if sock is None else sock.receive_queue.bytes
+
+    @staticmethod
+    def _repair_cache(transport) -> Optional[int]:
+        receiver = getattr(transport, "receiver", None)
+        return getattr(receiver, "_repair_cache_bytes", None)
+
+    @staticmethod
+    def _nak_ranges(transport) -> Optional[int]:
+        receiver = getattr(transport, "receiver", None)
+        naks = getattr(receiver, "naks", None)
+        return None if naks is None else len(naks)
+
+    @staticmethod
+    def _link_surfaces(network) -> list[tuple[str, object]]:
+        """Media worth a utilisation series: the LAN segment, or the
+        WAN's per-group downlinks (per-receiver tail pipes would bloat
+        scaling runs)."""
+        out: list[tuple[str, object]] = []
+        link = getattr(network, "link", None)
+        if link is not None:
+            out.append((link.name, link))
+        for pipe in getattr(network, "_group_down", {}).values():
+            out.append((pipe.name, pipe))
+        return out
+
+    # -- views / export -------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Latest value of every series and counter (attached to
+        :class:`~repro.faults.invariants.InvariantViolation`)."""
+        snap = self.registry.snapshot()
+        if self.spans is not None:
+            for hist in self.spans.histograms():
+                if hist.count:
+                    snap[f"{hist.name}.p50"] = hist.quantile(0.5)
+                    snap[f"{hist.name}.count"] = hist.count
+        return snap
+
+    def summary_tables(self) -> list[tuple[str, list, list]]:
+        """(title, headers, rows) tables for harness reports."""
+        tables = []
+        rows = self.registry.summary_rows()
+        if rows:
+            tables.append(("observed metric series",
+                           ["series", "samples", "min", "mean", "max",
+                            "last"], rows))
+        if self.spans is not None:
+            hist_rows = [[h.name, h.count, round(h.mean, 0),
+                          round(h.quantile(0.5), 0),
+                          round(h.quantile(0.9), 0), round(h.max, 0)]
+                         for h in self.spans.histograms() if h.count]
+            if hist_rows:
+                tables.append(("packet-lifecycle latency (us)",
+                               ["histogram", "n", "mean", "p50", "p90",
+                                "max"], hist_rows))
+        return tables
+
+    def summary(self) -> str:
+        """The text timeline/summary (see :func:`repro.obs.export.summary_text`)."""
+        return summary_text(self)
+
+    def write_artifacts(self, outdir: str, *,
+                        prefix: str = "run") -> dict[str, str]:
+        """Write every export into ``outdir``: JSONL + CSV series, the
+        Perfetto trace and the text summary.  Returns name -> path."""
+        os.makedirs(outdir, exist_ok=True)
+        paths = {
+            "series_jsonl": os.path.join(outdir, f"{prefix}.series.jsonl"),
+            "series_csv": os.path.join(outdir, f"{prefix}.series.csv"),
+            "perfetto": os.path.join(outdir, f"{prefix}.perfetto.json"),
+            "summary": os.path.join(outdir, f"{prefix}.summary.txt"),
+        }
+        write_series_jsonl(self.registry, paths["series_jsonl"])
+        write_series_csv(self.registry, paths["series_csv"])
+        write_chrome_trace(self, paths["perfetto"])
+        with open(paths["summary"], "w") as fh:
+            fh.write(self.summary())
+            fh.write("\n")
+        return paths

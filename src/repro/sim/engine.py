@@ -67,6 +67,13 @@ class Simulator:
         self._running = False
         self.events_processed: int = 0
         self.compactions: int = 0
+        # optional instrumentation hook (see repro.obs.profiler): when
+        # set, every executed callback is routed through
+        # ``profiler.execute(callback, args, sim_dt_us)`` where
+        # ``sim_dt_us`` is the virtual-clock advance that firing caused.
+        # Cancelled entries never reach the hook and compaction only
+        # discards entries that will never fire, so attribution is exact.
+        self.profiler = None
 
     @property
     def now(self) -> int:
@@ -129,6 +136,7 @@ class Simulator:
         """
         self._running = True
         budget = max_events if max_events is not None else -1
+        profiler = self.profiler
         try:
             while self._heap:
                 entry = self._heap[0]
@@ -140,9 +148,14 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self._live -= 1
+                prev = self._now
                 self._now = entry.time
                 self.events_processed += 1
-                entry.callback(*entry.args)
+                if profiler is None:
+                    entry.callback(*entry.args)
+                else:
+                    profiler.execute(entry.callback, entry.args,
+                                     entry.time - prev)
                 if budget > 0:
                     budget -= 1
                     if budget == 0:
@@ -161,9 +174,14 @@ class Simulator:
                 self._dead -= 1
                 continue
             self._live -= 1
+            prev = self._now
             self._now = entry.time
             self.events_processed += 1
-            entry.callback(*entry.args)
+            if self.profiler is None:
+                entry.callback(*entry.args)
+            else:
+                self.profiler.execute(entry.callback, entry.args,
+                                      entry.time - prev)
             return True
         return False
 

@@ -7,6 +7,7 @@ in CI logs and diffable across runs.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Sequence
 
 __all__ = ["format_table", "format_value"]
@@ -14,6 +15,10 @@ __all__ = ["format_table", "format_value"]
 
 def format_value(value: Any) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         if value == 0:
             return "0"
         if abs(value) >= 100:

@@ -8,13 +8,14 @@ can be saved to JSON-lines files and analyzed offline with
 throughput timelines and sequence-progress views.
 """
 
-from repro.trace.tracer import PacketTracer, TraceEvent, load_trace
+from repro.trace.tracer import (PacketTracer, TraceEvent, load_trace,
+                                trace_meta)
 from repro.trace.analyzer import (packet_summary, throughput_timeline,
                                   sequence_progress, sparkline,
                                   feedback_latency)
 
 __all__ = [
-    "PacketTracer", "TraceEvent", "load_trace",
+    "PacketTracer", "TraceEvent", "load_trace", "trace_meta",
     "packet_summary", "throughput_timeline", "sequence_progress",
     "sparkline", "feedback_latency",
 ]

@@ -17,7 +17,7 @@ from repro.core.types import PacketType
 from repro.kernel.host import Host
 from repro.kernel.skbuff import SKBuff
 
-__all__ = ["TraceEvent", "PacketTracer", "load_trace"]
+__all__ = ["TraceEvent", "PacketTracer", "load_trace", "trace_meta"]
 
 
 @dataclass(frozen=True)
@@ -58,9 +58,14 @@ class PacketTracer:
 
     With ``ring=True`` the capture keeps only the most recent
     ``max_events`` records (a flight recorder for long chaos runs)
-    instead of truncating at the cap.  ``listeners`` are invoked for
-    every event before it is stored, independent of any cap, so online
-    consumers (e.g. the invariant checker) always see the full stream.
+    instead of truncating at the cap; ``dropped`` counts records lost
+    off either end.  ``listeners`` are invoked for every event before
+    it is stored, independent of any cap, so online consumers (e.g. the
+    invariant checker or the observability layer) always see the full
+    stream.  ``raw_listeners`` additionally receive the live ``SKBuff``
+    (read-only), for consumers that need segment bookkeeping the
+    :class:`TraceEvent` record does not carry (e.g. NIC wire-departure
+    stamps for span stitching).
     """
 
     def __init__(self, *, max_events: Optional[int] = None,
@@ -73,6 +78,7 @@ class PacketTracer:
         self.max_events = max_events
         self.dropped = 0
         self.listeners: list[Callable[[TraceEvent], None]] = []
+        self.raw_listeners: list[Callable[[TraceEvent, SKBuff], None]] = []
         self._hosts: list[Host] = []
 
     def attach(self, *hosts: Host) -> "PacketTracer":
@@ -98,10 +104,15 @@ class PacketTracer:
                 rate_adv=skb.rate_adv, tries=skb.tries, flags=skb.flags)
             for listener in self.listeners:
                 listener(ev)
-            if not self.ring and self.max_events is not None and \
+            for raw in self.raw_listeners:
+                raw(ev, skb)
+            if self.max_events is not None and \
                     len(self.events) >= self.max_events:
+                # list mode drops the new event; ring mode (deque with
+                # maxlen) evicts the oldest -- count the loss either way
                 self.dropped += 1
-                return
+                if not self.ring:
+                    return
             self.events.append(ev)
 
         return tap
@@ -109,6 +120,12 @@ class PacketTracer:
     def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
         """Call ``fn(event)`` for every captured event (before storage)."""
         self.listeners.append(fn)
+
+    def add_raw_listener(self,
+                         fn: Callable[[TraceEvent, SKBuff], None]) -> None:
+        """Call ``fn(event, skb)`` for every captured event.  The skb is
+        the live segment -- listeners must treat it as read-only."""
+        self.raw_listeners.append(fn)
 
     def recent(self, n: int = 20) -> list[TraceEvent]:
         """The last ``n`` captured events (most recent last)."""
@@ -119,12 +136,25 @@ class PacketTracer:
     # -- persistence ------------------------------------------------------
 
     def save(self, path: str) -> int:
-        """Write the capture as JSON lines; returns the event count."""
+        """Write the capture as JSON lines; returns the event count.
+
+        Events are emitted in time order (a ring capture whose contents
+        were assembled across evictions is re-sorted, stably, to be
+        safe), and a truncated capture leads with a ``_meta`` line
+        recording how many records were lost, so replay tooling knows
+        the head of the run is missing.
+        """
+        events = sorted(self.events, key=lambda e: e.t_us)
         with open(path, "w") as fh:
-            for ev in self.events:
+            if self.dropped:
+                meta = {"_meta": {"truncated": True, "ring": self.ring,
+                                  "dropped": self.dropped}}
+                fh.write(json.dumps(meta, separators=(",", ":")))
+                fh.write("\n")
+            for ev in events:
                 fh.write(json.dumps(asdict(ev), separators=(",", ":")))
                 fh.write("\n")
-        return len(self.events)
+        return len(events)
 
     # -- convenience filters ------------------------------------------------
 
@@ -136,11 +166,37 @@ class PacketTracer:
 
 
 def load_trace(path: str) -> list[TraceEvent]:
-    """Read a JSON-lines capture produced by :meth:`PacketTracer.save`."""
+    """Read a JSON-lines capture produced by :meth:`PacketTracer.save`.
+
+    Tolerates flight-recorder captures: a leading ``_meta`` line (ring
+    truncation marker) is skipped, unknown fields from newer writers are
+    ignored, and out-of-order records are re-sorted so downstream
+    analyzers always see a time-ordered stream even when the first
+    events of the run are missing.
+    """
+    fields = {f for f in TraceEvent.__dataclass_fields__}
     out: list[TraceEvent] = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                out.append(TraceEvent(**json.loads(line)))
+            if not line:
+                continue
+            record = json.loads(line)
+            if "_meta" in record:
+                continue
+            out.append(TraceEvent(**{k: v for k, v in record.items()
+                                     if k in fields}))
+    out.sort(key=lambda e: e.t_us)
     return out
+
+
+def trace_meta(path: str) -> Optional[dict]:
+    """The ``_meta`` record of a saved capture, or ``None`` if the
+    capture is complete (no truncation marker)."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                record = json.loads(line)
+                return record.get("_meta")
+    return None

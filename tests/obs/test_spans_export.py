@@ -1,0 +1,156 @@
+"""Spans, profiler and exporter tests over one observed lossy run."""
+
+import csv
+import json
+
+import pytest
+
+from repro.harness.runner import run_transfer
+from repro.net.topology import GroupSpec
+from repro.obs import Observability, chrome_trace
+from repro.workloads.scenarios import build_lan, build_wan
+
+LOSSY = GroupSpec("L", delay_us=20_000, loss_rate=0.02)
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    sc = build_wan([LOSSY] * 3, 10e6, seed=7)
+    obs = Observability(profile=True)
+    res = run_transfer(sc, nbytes=300_000, sndbuf=256 * 1024,
+                       max_sim_s=300, obs=obs)
+    return sc, obs, res
+
+
+def test_run_completes_and_obs_attached(observed_run):
+    sc, obs, res = observed_run
+    assert res.ok
+    assert res.obs is obs
+    assert obs.finalized_at_us == res.obs.finalized_at_us is not None
+    assert obs.registry.scrapes > 2
+
+
+def test_series_populated(observed_run):
+    _, obs, res = observed_run
+    for name in ("engine.queue_depth", "sender.sndbuf_used_bytes",
+                 "sender.window_bytes", "sender.rate_adv_bps",
+                 "recv.rcvbuf_used_bytes", "recv.repair_cache_bytes"):
+        assert len(obs.registry.series[name]) > 0, name
+    # 2% loss guarantees NAK traffic, visible in the rate series
+    naks = obs.registry.series["sender.naks_per_s"]
+    assert max(naks.values) > 0
+    assert res.sender_stats.naks_rcvd > 0
+
+
+def test_lifecycle_histograms(observed_run):
+    _, obs, _ = observed_run
+    spans = obs.spans
+    assert spans.one_way_us.count > 100
+    # one-way latency at least the group's propagation delay
+    assert spans.one_way_us.min >= LOSSY.delay_us
+    assert spans.queueing_us.count > 0
+    assert spans.queueing_us.min >= 0
+    # lossy run: NAK -> repair latency must have been observed
+    assert spans.recovery_us.count > 0
+    assert spans.recovery_us.min > 0
+
+
+def test_phase_spans(observed_run):
+    sc, obs, _ = observed_run
+    by_name = {}
+    for s in obs.spans.spans:
+        by_name.setdefault(s.name, []).append(s)
+    assert len(by_name["join"]) == 3
+    assert len(by_name["transfer"]) == 3
+    for s in obs.spans.spans:
+        assert s.end_us is not None and s.end_us >= s.start_us
+    # recovery spans carry the repaired range offsets
+    assert any(s.cat == "recovery" for s in obs.spans.spans)
+
+
+def test_profiler_attribution(observed_run):
+    _, obs, res = observed_run
+    prof = obs.profiler
+    assert prof.events == res.sim_events
+    assert sum(s.events for s in prof.sites.values()) == prof.events
+    assert sum(s.wall_ns for s in prof.sites.values()) == prof.wall_ns_total
+    assert prof.events_per_sec() > 0
+    top = prof.top(5)
+    assert 0 < len(top) <= 5
+    # ranked by wall time, shares parse as percentages
+    walls = [row[3] for row in top]
+    assert walls == sorted(walls, reverse=True)
+    assert all(row[4].endswith("%") for row in top)
+    with pytest.raises(ValueError):
+        prof.top(key="bogus")
+
+
+def test_jsonl_and_csv_exports(observed_run, tmp_path):
+    _, obs, _ = observed_run
+    paths = obs.write_artifacts(str(tmp_path), prefix="t")
+    kinds = set()
+    with open(paths["series_jsonl"]) as fh:
+        for line in fh:
+            rec = json.loads(line)
+            kinds.add(rec["kind"])
+            if rec["kind"] == "sample":
+                assert rec["t_us"] >= 0 and "series" in rec
+    assert "sample" in kinds
+    with open(paths["series_csv"]) as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["series", "unit", "t_us", "value"]
+    assert len(rows) > 10
+    with open(paths["summary"]) as fh:
+        text = fh.read()
+    assert "metric series" in text and "packet-lifecycle" in text
+
+
+def test_chrome_trace_structure(observed_run, tmp_path):
+    sc, obs, _ = observed_run
+    doc = chrome_trace(obs)
+    events = doc["traceEvents"]
+    phs = {e["ph"] for e in events}
+    assert {"M", "X", "C"} <= phs
+    # spans land on per-host threads named in metadata
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"
+             and e["name"] == "thread_name"}
+    assert sc.receivers[0].addr in names
+    for e in events:
+        if e["ph"] == "X":
+            assert e["dur"] >= 1 and e["ts"] >= 0
+    ts = [e["ts"] for e in events if "ts" in e]
+    assert ts == sorted(ts)
+    # and the file round-trips as JSON
+    path = tmp_path / "trace.json"
+    from repro.obs import write_chrome_trace
+    n = write_chrome_trace(obs, str(path))
+    assert n == len(events)
+    assert json.loads(path.read_text())["displayTimeUnit"] == "ms"
+
+
+def test_snapshot_merges_span_stats(observed_run):
+    _, obs, _ = observed_run
+    snap = obs.snapshot()
+    assert snap["span.one_way_us.count"] == obs.spans.one_way_us.count
+    assert "engine.queue_depth" in snap
+
+
+def test_obs_attach_is_single_use(observed_run):
+    sc, obs, _ = observed_run
+    with pytest.raises(RuntimeError):
+        obs.attach(sc, None)
+
+
+def test_scrape_interval_validation():
+    with pytest.raises(ValueError):
+        Observability(scrape_interval_us=0)
+
+
+def test_lan_run_has_link_utilization():
+    sc = build_lan(2, 10e6, seed=3)
+    obs = Observability()
+    res = run_transfer(sc, nbytes=100_000, obs=obs)
+    assert res.ok
+    util = obs.registry.series["link.eth0.util_pct"]
+    assert len(util) > 0
+    assert 0 <= max(util.values) <= 100.5

@@ -189,3 +189,115 @@ def test_compaction_counters_consistent_after_run():
     assert len(fired) == 5 * 50
     assert sim.pending() == 0
     assert sim._dead == 0
+
+
+# -- profiler instrumentation hook -----------------------------------------
+
+def test_profiler_receives_every_executed_callback():
+    from repro.obs.profiler import SimProfiler
+    sim = Simulator()
+    sim.profiler = SimProfiler()
+    for i in range(5):
+        sim.call_at(i * 10, lambda: None)
+    sim.run()
+    assert sim.profiler.events == 5 == sim.events_processed
+
+
+def test_profiler_attribution_exact_under_cancel():
+    """Cancelled entries never reach the profiler, so per-site counts
+    equal callbacks actually executed."""
+    from repro.obs.profiler import SimProfiler, site_of
+
+    def victim():
+        pass
+
+    def survivor():
+        pass
+
+    sim = Simulator()
+    sim.profiler = SimProfiler()
+    victims = [sim.call_at(i + 1, victim) for i in range(10)]
+    for e in victims[:7]:
+        sim.cancel(e)
+    for i in range(4):
+        sim.call_at(i + 20, survivor)
+    sim.run()
+    sites = sim.profiler.sites
+    assert sites[site_of(victim)].events == 3
+    assert sites[site_of(survivor)].events == 4
+    assert sim.profiler.events == 7
+
+
+def test_profiler_attribution_exact_under_compaction():
+    """Heap compaction discards only never-to-fire entries: attribution
+    is unchanged by however many rebuilds happen."""
+    from repro.obs.profiler import SimProfiler, site_of
+
+    def kept():
+        pass
+
+    sim = Simulator()
+    sim.profiler = SimProfiler()
+    entries = [sim.call_at(i + 1, kept) for i in range(500)]
+    for i, e in enumerate(entries):
+        if (i + 1) % 10:
+            sim.cancel(e)
+    assert sim.compactions > 0
+    sim.run()
+    assert sim.profiler.sites[site_of(kept)].events == 50
+    assert sim.profiler.events == 50
+
+
+def test_profiler_sim_time_attribution_sums_to_final_clock():
+    """Each firing is charged the virtual-clock advance it caused, so
+    the per-site sim_us totals partition the run's final time."""
+    from repro.obs.profiler import SimProfiler
+    sim = Simulator()
+    sim.profiler = SimProfiler()
+    sim.call_at(100, lambda: None)
+    sim.call_at(100, lambda: None)   # same instant: zero advance
+    sim.call_at(250, lambda: None)
+    sim.call_at(1000, lambda: None)
+    sim.run()
+    total = sum(s.sim_us for s in sim.profiler.sites.values())
+    assert total == sim.now == 1000
+
+
+def test_profiler_step_parity_with_run():
+    from repro.obs.profiler import SimProfiler
+    sim = Simulator()
+    sim.profiler = SimProfiler()
+    sim.call_at(5, lambda: None)
+    sim.call_at(15, lambda: None)
+    while sim.step():
+        pass
+    assert sim.profiler.events == 2
+    total = sum(s.sim_us for s in sim.profiler.sites.values())
+    assert total == 15
+
+
+def test_profiler_attributes_raising_callbacks():
+    """A callback that raises is still attributed (try/finally), so the
+    profile stays exact even when a run dies mid-flight."""
+    from repro.obs.profiler import SimProfiler
+
+    def boom():
+        raise RuntimeError("x")
+
+    sim = Simulator()
+    sim.profiler = SimProfiler()
+    sim.call_at(10, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert sim.profiler.events == 1
+    assert sim.profiler.wall_ns_total > 0
+
+
+def test_no_profiler_no_overhead_path():
+    """The default (profiler=None) path still runs everything."""
+    sim = Simulator()
+    assert sim.profiler is None
+    fired = []
+    sim.call_at(1, fired.append, 1)
+    sim.run()
+    assert fired == [1]

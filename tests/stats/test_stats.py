@@ -59,3 +59,27 @@ def test_format_table_alignment():
 def test_format_table_empty_rows():
     out = format_table("Empty", ["a"], [])
     assert "Empty" in out
+
+
+def test_format_value_non_finite():
+    assert format_value(float("nan")) == "nan"
+    assert format_value(float("inf")) == "inf"
+    assert format_value(float("-inf")) == "-inf"
+
+
+def test_format_value_negative():
+    assert format_value(-0.5) == "-0.5000"
+    assert format_value(-3.14159) == "-3.14"
+    assert format_value(-1234.5) == "-1234"
+    assert format_value(-0.0) == "0"
+
+
+def test_format_table_with_non_finite_cells():
+    out = format_table("T", ["m", "v"],
+                       [["a", float("nan")], ["b", float("inf")],
+                        ["c", -0.25]])
+    lines = out.splitlines()
+    assert any("nan" in line for line in lines)
+    assert any("inf" in line for line in lines)
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) <= 2
