@@ -34,7 +34,14 @@ def main() -> None:
           f"(2% loss) -> {res.throughput_mbps:.2f} Mbps, "
           f"reliable={res.ok}\n")
 
-    summary = packet_summary(tracer.events)
+    meta = ({"truncated": True, "dropped": tracer.dropped,
+             "ring": tracer.ring} if tracer.dropped else None)
+    summary = packet_summary(tracer.events, meta)
+    capture = summary.pop("_capture", None)
+    if capture:
+        print(f"NOTE: capture truncated -- {capture['dropped']} events "
+              f"lost{' off the ring' if capture['ring'] else ''}; "
+              "counts below are lower bounds\n")
     retrans = summary.pop("_retransmissions")
     rows = [(name, s["count"], s["bytes"])
             for name, s in sorted(summary.items())]

@@ -266,6 +266,12 @@ class HRMCReceiver:
     def _note_gap(self, start: int, end: int) -> None:
         """Record missing [start, end) and NAK any newly seen ranges."""
         now = self.sim.now
+        lineage = self.sim.lineage
+        if lineage is not None:
+            # the out-of-order arrival we are processing *revealed* the
+            # gap; NAK transmissions chain under this node
+            lineage.emit("gap", self.host.addr, "detected",
+                         seq=start, end=end)
         fresh = self.naks.add_gap(start, end, now)
         for rng in fresh:
             self._send_nak(rng, now)

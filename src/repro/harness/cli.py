@@ -9,24 +9,38 @@ Usage::
     hrmc-experiments --chaos-seed 10
     hrmc-experiments --fault-plan plan.json --metrics-out out/
     hrmc-experiments report lan --receivers 5 --metrics-out out/
+    hrmc-experiments report wan --html --metrics-out out/
+    hrmc-experiments report wan --from out/
+    hrmc-experiments why wan --seq 58401 --seed 21
+    hrmc-experiments diff out/runA out/runB
 
 (or ``python -m repro.harness.cli``).  ``--chaos-seed``/``--fault-plan``
 run one fault-injected transfer with the invariant checker attached and
 print what happened (see :mod:`repro.faults`).  ``--metrics-out DIR``
 additionally attaches the observability layer (:mod:`repro.obs`) and
-writes its artifacts -- JSONL/CSV metric series, a text summary and a
-Perfetto-loadable trace -- into ``DIR``.
+writes its artifacts -- JSONL/CSV metric series, a text summary, a
+Perfetto-loadable trace, and (with lineage) the packet trace + causal
+DAG -- into ``DIR``.
 
-The ``report`` subcommand runs one observed transfer of a canned
-scenario (``lan``, ``wan`` or ``chaos``) and prints the observability
-summary: metric series, packet-lifecycle latency, protocol phases and
-the engine profile.
+Subcommands:
+
+* ``report lan|wan|chaos`` runs one observed transfer of a canned
+  scenario and prints the observability summary; ``--html`` also writes
+  the self-contained HTML report, ``--from DIR`` re-renders a
+  previously written artifact directory without running anything.
+* ``why lan|wan|chaos`` runs the scenario with causal lineage enabled
+  and answers "why did sequence N need recovery?" (``--seq N``) or
+  explains the worst recovery episodes (default).
+* ``diff RUN_A RUN_B`` aligns two artifact directories and reports the
+  first causally significant divergence.  Exit status: 0 = runs align,
+  1 = diverged, 2 = unusable input.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -56,19 +70,27 @@ def _run_chaos(args) -> int:
                                horizon_us=1_000_000)
         plan = scenario.fault_plan
     print(plan.describe())
-    obs = None
+    obs = tracer = None
     if args.metrics_out:
         from repro.obs import Observability
-        obs = Observability(profile=True)
+        from repro.trace.tracer import PacketTracer
+        obs = Observability(profile=True, lineage=True)
+        tracer = PacketTracer()
     try:
         result = run_transfer(scenario, protocol="hrmc", nbytes=args.nbytes,
                               sndbuf=128 * 1024, cfg=chaos_config(),
-                              invariants=True, max_sim_s=120, obs=obs)
+                              invariants=True, max_sim_s=120, obs=obs,
+                              tracer=tracer)
     except ValueError as exc:  # e.g. plan targets a missing receiver
         print(f"cannot run fault plan: {exc}", file=sys.stderr)
         return 2
     if obs is not None:
-        paths = obs.write_artifacts(args.metrics_out, prefix="chaos")
+        try:
+            paths = obs.write_artifacts(args.metrics_out, prefix="chaos")
+        except OSError as exc:
+            print(f"cannot write artifacts to {args.metrics_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
         for name, path in paths.items():
             print(f"wrote {name}: {path}")
     print(f"fault events: {result.fault_events}  "
@@ -86,18 +108,9 @@ def _run_chaos(args) -> int:
     return 0 if ok else 1
 
 
-def _run_report(argv) -> int:
-    """``report`` subcommand: one observed transfer + obs summary."""
-    from repro.harness.runner import run_transfer
-    from repro.obs import Observability
-    from repro.workloads.groups import expand_test_case
-    from repro.workloads.scenarios import build_chaos, build_lan, build_wan
+# -- shared scenario construction ---------------------------------------
 
-    parser = argparse.ArgumentParser(
-        prog="hrmc-experiments report",
-        description="Run one observed transfer and print the "
-                    "observability report (metric series, packet "
-                    "lifecycle latency, protocol phases, profile).")
+def _scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("scenario", choices=("lan", "wan", "chaos"),
                         help="canned scenario to observe")
     parser.add_argument("--receivers", type=int, default=5)
@@ -109,12 +122,11 @@ def _run_report(argv) -> int:
                         help="protocol to run (default hrmc)")
     parser.add_argument("--wan-test", type=int, default=2, metavar="N",
                         help="characteristic-group test case for wan")
-    parser.add_argument("--metrics-out", metavar="DIR", default=None,
-                        help="also write JSONL/CSV series, summary and "
-                             "Perfetto trace into DIR")
-    parser.add_argument("--no-profile", action="store_true",
-                        help="skip the engine profiler")
-    args = parser.parse_args(argv)
+
+
+def _build_scenario(args):
+    from repro.workloads.groups import expand_test_case
+    from repro.workloads.scenarios import build_chaos, build_lan, build_wan
 
     bw = args.bandwidth * 1e6
     if args.scenario == "lan":
@@ -125,34 +137,289 @@ def _run_report(argv) -> int:
     else:
         scenario = build_chaos(args.receivers, bw, seed=args.seed,
                                horizon_us=1_000_000, allow_crash=False)
-
-    obs = Observability(profile=not args.no_profile)
     kwargs = {}
     if args.scenario == "chaos":
         from repro.harness.experiments import chaos_config
         kwargs = {"cfg": chaos_config(), "invariants": True,
                   "sndbuf": 128 * 1024}
+    return scenario, kwargs
+
+
+# -- report subcommand --------------------------------------------------
+
+class _OfflineObs:
+    """Enough of the :class:`Observability` surface to re-render a
+    report from a previously written ``*.series.jsonl`` (used by
+    ``report --from DIR``)."""
+
+    def __init__(self, registry, finalized_at_us):
+        self.registry = registry
+        self.finalized_at_us = finalized_at_us
+        self.spans = None
+        self.profiler = None
+
+    def summary_tables(self):
+        rows = self.registry.summary_rows()
+        return [("observed metric series",
+                 ["series", "samples", "min", "mean", "max", "last"],
+                 rows)] if rows else []
+
+
+def _load_series(path: str):
+    """Rebuild a :class:`MetricsRegistry` from a series JSONL dump.
+
+    Raises ``ValueError`` with a one-line reason on corrupt input.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    last_t = None
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                kind = rec.get("kind")
+                if kind == "sample":
+                    name = rec["series"]
+                    if name not in registry.series:
+                        from repro.obs.metrics import TimeSeries
+                        registry.series[name] = TimeSeries(
+                            name, rec.get("unit", ""))
+                    registry.series[name].append(rec["t_us"], rec["value"])
+                    last_t = rec["t_us"] if last_t is None \
+                        else max(last_t, rec["t_us"])
+                elif kind == "counter":
+                    registry.counter(rec["name"]).inc(int(rec["value"]))
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"corrupt series file {path!r}: {exc}") from None
+    registry.scrapes = max((len(s) for s in registry.series.values()),
+                           default=0)
+    return registry, last_t
+
+
+def _report_offline(args) -> int:
+    """``report --from DIR``: re-render the observability report from a
+    previously written artifact directory; never runs a transfer."""
+    outdir = getattr(args, "from")
+    prefix = args.scenario
+    summary_path = os.path.join(outdir, f"{prefix}.summary.txt")
+    series_path = os.path.join(outdir, f"{prefix}.series.jsonl")
+    trace_path = os.path.join(outdir, f"{prefix}.trace.jsonl")
+
+    try:
+        with open(summary_path) as fh:
+            summary = fh.read()
+    except OSError as exc:
+        print(f"cannot read metrics summary {summary_path!r}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 2
+    print(summary.rstrip("\n"))
+
+    if os.path.exists(trace_path):
+        from repro.trace.tracer import trace_meta
+        try:
+            meta = trace_meta(trace_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot read trace {trace_path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if meta and meta.get("truncated"):
+            print(f"\nnote: packet trace is truncated "
+                  f"({meta.get('dropped', '?')} events lost"
+                  f"{' off the ring' if meta.get('ring') else ''})")
+
+    if args.html:
+        from repro.obs.html import write_report
+        try:
+            registry, last_t = _load_series(series_path)
+        except OSError as exc:
+            print(f"cannot read metrics series {series_path!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        html_path = os.path.join(outdir, f"{prefix}.report.html")
+        try:
+            write_report(html_path, _OfflineObs(registry, last_t),
+                         title=f"H-RMC run report: {prefix} (offline)")
+        except OSError as exc:
+            print(f"cannot write {html_path!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"\nwrote html: {html_path}")
+    return 0
+
+
+def _run_report(argv) -> int:
+    """``report`` subcommand: one observed transfer + obs summary."""
+    from repro.harness.runner import run_transfer
+    from repro.obs import Observability
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments report",
+        description="Run one observed transfer and print the "
+                    "observability report (metric series, packet "
+                    "lifecycle latency, protocol phases, profile).")
+    _scenario_args(parser)
+    parser.add_argument("--metrics-out", metavar="DIR", default=None,
+                        help="also write JSONL/CSV series, summary, "
+                             "Perfetto trace, packet trace and causal "
+                             "lineage into DIR")
+    parser.add_argument("--html", action="store_true",
+                        help="also write the self-contained HTML report "
+                             "(implies causal lineage; needs "
+                             "--metrics-out or --from)")
+    parser.add_argument("--lineage", action="store_true",
+                        help="enable causal lineage tracing for the run")
+    parser.add_argument("--from", metavar="DIR", default=None,
+                        help="re-render a previously written artifact "
+                             "directory instead of running a transfer")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the engine profiler")
+    args = parser.parse_args(argv)
+
+    if getattr(args, "from"):
+        return _report_offline(args)
+    if args.html and not args.metrics_out:
+        print("--html needs --metrics-out DIR (or --from DIR)",
+              file=sys.stderr)
+        return 2
+
+    lineage = args.lineage or args.html
+    obs = Observability(profile=not args.no_profile, lineage=lineage)
+    tracer = None
+    if lineage and args.metrics_out:
+        from repro.trace.tracer import PacketTracer
+        tracer = PacketTracer()
+    scenario, kwargs = _build_scenario(args)
     result = run_transfer(scenario, nbytes=args.nbytes,
                           protocol=args.protocol, obs=obs,
-                          max_sim_s=300, **kwargs)
+                          max_sim_s=300, tracer=tracer, **kwargs)
     print(f"{args.scenario} x{args.receivers} {args.protocol} "
           f"{args.nbytes} bytes: ok={result.ok} "
           f"throughput={result.throughput_mbps:.2f} Mbit/s "
           f"duration={result.duration_us / 1e6:.3f} s\n")
     print(obs.summary())
     if args.metrics_out:
-        paths = obs.write_artifacts(args.metrics_out,
-                                    prefix=args.scenario)
+        try:
+            paths = obs.write_artifacts(args.metrics_out,
+                                        prefix=args.scenario,
+                                        html=args.html)
+        except OSError as exc:
+            print(f"cannot write artifacts to {args.metrics_out!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
         print()
         for name, path in paths.items():
             print(f"wrote {name}: {path}")
     return 0 if result.ok else 1
 
 
+# -- why subcommand -----------------------------------------------------
+
+def _run_why(argv) -> int:
+    """``why`` subcommand: run with lineage on, answer why(seq)."""
+    from repro.harness.runner import run_transfer
+    from repro.obs import Observability
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments why",
+        description="Run a lineage-traced transfer and explain why a "
+                    "sequence range needed recovery (--seq), or walk "
+                    "the worst recovery episodes (default).")
+    _scenario_args(parser)
+    parser.add_argument("--seq", type=int, default=None, metavar="N",
+                        help="explain this byte sequence number; "
+                             "default: the worst recovery episodes")
+    parser.add_argument("--worst", type=int, default=3, metavar="K",
+                        help="how many worst episodes to explain "
+                             "when --seq is not given (default 3)")
+    parser.add_argument("--metrics-out", metavar="DIR", default=None,
+                        help="also write the run's artifacts into DIR")
+    args = parser.parse_args(argv)
+
+    obs = Observability(profile=False, lineage=True)
+    tracer = None
+    if args.metrics_out:
+        from repro.trace.tracer import PacketTracer
+        tracer = PacketTracer()
+    scenario, kwargs = _build_scenario(args)
+    result = run_transfer(scenario, nbytes=args.nbytes,
+                          protocol=args.protocol, obs=obs,
+                          max_sim_s=300, tracer=tracer, **kwargs)
+    print(f"{args.scenario} x{args.receivers} {args.protocol} "
+          f"{args.nbytes} bytes: ok={result.ok} "
+          f"duration={result.duration_us / 1e6:.3f} s\n")
+    diag = obs.diag()
+    if args.seq is not None:
+        print(diag.why(args.seq).render())
+    else:
+        worst = diag.explain_worst(args.worst)
+        if not worst:
+            print("no recovery episodes: every packet arrived first try")
+        for i, (span, why) in enumerate(worst):
+            if i:
+                print()
+            print(f"-- recovery {span.name} @ {span.host}: "
+                  f"{span.dur_us} us --")
+            print(why.render())
+    stall = diag.why_stalled()
+    if stall is not None:
+        print()
+        print(stall.render())
+    if args.metrics_out:
+        try:
+            paths = obs.write_artifacts(args.metrics_out,
+                                        prefix=args.scenario)
+        except OSError as exc:
+            print(f"cannot write artifacts to {args.metrics_out!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        print()
+        for name, path in paths.items():
+            print(f"wrote {name}: {path}")
+    return 0 if result.ok else 1
+
+
+# -- diff subcommand ----------------------------------------------------
+
+def _run_diff(argv) -> int:
+    """``diff`` subcommand: first causal divergence between two runs.
+
+    Exit status: 0 = aligned, 1 = diverged, 2 = unusable input.
+    """
+    from repro.obs.diffing import diff_runs
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments diff",
+        description="Align two run artifact directories (or bare "
+                    "*.trace.jsonl files) and report the first causally "
+                    "significant divergence, with each side's lineage.")
+    parser.add_argument("run_a", help="first run directory / trace file")
+    parser.add_argument("run_b", help="second run directory / trace file")
+    args = parser.parse_args(argv)
+
+    try:
+        result = diff_runs(args.run_a, args.run_b)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(result.render())
+    return 1 if result.diverged else 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "report":
         return _run_report(argv[1:])
+    if argv and argv[0] == "why":
+        return _run_why(argv[1:])
+    if argv and argv[0] == "diff":
+        return _run_diff(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hrmc-experiments",
         description="Regenerate the tables and figures of the H-RMC "
@@ -180,8 +447,9 @@ def main(argv=None) -> int:
                         help="transfer size for --chaos-seed/--fault-plan")
     parser.add_argument("--metrics-out", metavar="DIR", default=None,
                         help="attach the observability layer to the "
-                             "chaos run and write metric series, summary "
-                             "and Perfetto trace into DIR")
+                             "chaos run and write metric series, summary, "
+                             "Perfetto trace, packet trace and causal "
+                             "lineage into DIR")
     args = parser.parse_args(argv)
 
     if args.chaos_seed is not None or args.fault_plan:

@@ -45,10 +45,17 @@ class HostClock:
         self._sim = sim
         self.skew = 1.0          # multiplier on programmed timer delays
         self.stalled_until = 0   # no timer may fire before this sim time
+        self.host_addr = ""      # owning host's address, for lineage labels
 
     @property
     def now(self) -> int:
         return self._sim.now
+
+    @property
+    def lineage(self):
+        """Forward the causal recorder so timers driven through this
+        clock can label their firings (see repro.obs.causal)."""
+        return self._sim.lineage
 
     def call_at(self, when: int, callback: Callable, *args):
         if self.skew != 1.0:
@@ -121,6 +128,7 @@ class Host:
         self.name = name or f"host-{nic.addr}"
         self.addr = nic.addr
         self.clock = HostClock(sim)
+        self.clock.host_addr = self.addr
         self.crashed = False
         self._cpu_busy_until = 0
         self._ports: dict[int, Transport] = {}
@@ -211,6 +219,18 @@ class Host:
         seg_bytes = 20 + payload_bytes
         pkt = NetPacket(self.addr, dst_addr, skb, seg_bytes,
                         born_us=self.sim.now)
+        lineage = self.sim.lineage
+        if lineage is not None:
+            # a retransmission carries the lineage of the NAK that queued
+            # it (stamped on the skb); consume it so the next send of the
+            # same segment falls back to the scheduling context.  The tx
+            # node is stamped on the packet rather than advancing the
+            # engine context: the NIC rings serialize completions, so
+            # downstream delivery must be parented per-packet.
+            cause, skb.cause = skb.cause, 0
+            pkt.cause = lineage.emit_packet(
+                "tx", self.addr, skb,
+                parent=cause if cause else None, advance=False)
         if self.tap is not None:
             self.tap("tx", skb, dst_addr, self.sim.now)
         self._pending_xmit += 1
@@ -220,6 +240,10 @@ class Host:
         self._pending_xmit -= 1
         if not self.nic.try_transmit(pkt):
             self.tx_ring_busy_drops += 1
+            lineage = self.sim.lineage
+            if lineage is not None:
+                lineage.emit_drop("tx_ring_full", self.addr, pkt.segment,
+                                  parent=pkt.cause)
 
     def tx_space(self) -> int:
         """Device-queue slots not yet spoken for -- counts packets that
@@ -228,15 +252,27 @@ class Host:
         return max(0, self.nic.tx_space() - self._pending_xmit)
 
     def _packet_arrived(self, pkt: NetPacket) -> None:
+        lineage = self.sim.lineage
         if self.crashed:
+            if lineage is not None:
+                lineage.emit_drop("host_crashed", self.addr, pkt.segment,
+                                  parent=pkt.cause)
             return  # nothing is listening; the NIC guards make this rare
         if pkt.corrupted:
             # the header checksum (RFC 1071, over header+payload)
             # catches in-flight bit errors; damaged packets are dropped
             # here exactly like a failed hrmc checksum in the kernel
             self.checksum_drops += 1
+            if lineage is not None:
+                lineage.emit_drop("checksum", self.addr, pkt.segment,
+                                  parent=pkt.cause, blame=pkt.blame)
             return
         skb = pkt.segment
+        if lineage is not None:
+            # parent to this packet's own transmission and make the rx
+            # node the context for everything protocol processing does
+            # next (gap detection, NAK scheduling, app wake-ups)
+            lineage.emit_packet("rx", self.addr, skb, parent=pkt.cause)
         if self.tap is not None:
             self.tap("rx", skb, pkt.src, self.sim.now)
         transport = self._ports.get(skb.dport)

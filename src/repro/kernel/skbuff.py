@@ -31,6 +31,9 @@ class SKBuff:
         # sender-side bookkeeping
         "first_sent_us", "last_sent_us", "retrans_pending",
         "release_checked",
+        # causal lineage (obs.causal): node id of the event that queued
+        # this segment for (re)transmission, consumed at ip_send time
+        "cause",
     )
 
     def __init__(self, *, sport: int, dport: int, seq: int, ptype: int,
@@ -49,6 +52,7 @@ class SKBuff:
         self.last_sent_us = -1
         self.retrans_pending = False
         self.release_checked = False
+        self.cause = 0
 
     @property
     def end_seq(self) -> int:

@@ -104,6 +104,10 @@ class NetworkInterface:
         self.fault_drops = 0
         self.fault_corruptions = 0
         self._fault_rng = substream(seed, f"fault:nic:{addr}")
+        # lineage id of the fault action currently poisoning this card
+        # (set by the injector, cleared on restore); drops performed
+        # while set carry it as a ``blame`` edge (see repro.obs.causal)
+        self.fault_cause = 0
 
     # -- wiring ---------------------------------------------------------
 
@@ -151,6 +155,10 @@ class NetworkInterface:
             # a dead card accepts and loses the frame; the caller (a
             # crashed host's last scheduled work) must not spin on retry
             self.fault_drops += 1
+            lineage = self.sim.lineage
+            if lineage is not None:
+                lineage.emit_drop("tx_nic_dead", self.addr, pkt.segment,
+                                  parent=pkt.cause, blame=self.fault_cause)
             return True
         if len(self._tx_queue) >= self.tx_ring_cap:
             return False
@@ -192,20 +200,32 @@ class NetworkInterface:
             if not (is_multicast(pkt.dst) and pkt.dst in self._groups):
                 self.filtered += 1
                 return
+        lineage = self.sim.lineage
         if not self.powered or self.sim.now < self.fault_rx_drop_until:
             self.fault_drops += 1
+            if lineage is not None:
+                why = "nic_dead" if not self.powered else "nic_burst_drop"
+                lineage.emit_drop(why, self.addr, pkt.segment,
+                                  parent=pkt.cause, blame=self.fault_cause)
             return
         if self.fault_rx_loss_rate > 0.0 and \
                 self._fault_rng.random() < self.fault_rx_loss_rate:
             self.fault_drops += 1
+            if lineage is not None:
+                lineage.emit_drop("nic_fault_loss", self.addr, pkt.segment,
+                                  parent=pkt.cause, blame=self.fault_cause)
             return
         if self.fault_corrupt_rate > 0.0 and \
                 self._fault_rng.random() < self.fault_corrupt_rate:
             # flip bits in our private fork; the host checksum drops it
             pkt.corrupted = True
+            pkt.blame = self.fault_cause
             self.fault_corruptions += 1
         if self.rx_loss_rate > 0.0 and self._rng.random() < self.rx_loss_rate:
             self.rx_loss_drops += 1
+            if lineage is not None:
+                lineage.emit_drop("rx_loss", self.addr, pkt.segment,
+                                  parent=pkt.cause)
             return
         if self.rx_latency_us:
             self.sim.call_after(self.rx_latency_us, self._rx_enqueue, pkt)
@@ -215,9 +235,17 @@ class NetworkInterface:
     def _rx_enqueue(self, pkt: NetPacket) -> None:
         if not self.powered:
             self.fault_drops += 1  # arrived via rx_latency after a crash
+            lineage = self.sim.lineage
+            if lineage is not None:
+                lineage.emit_drop("nic_dead", self.addr, pkt.segment,
+                                  parent=pkt.cause, blame=self.fault_cause)
             return
         if len(self._rx_queue) >= self.rx_ring_cap:
             self.rx_ring_drops += 1
+            lineage = self.sim.lineage
+            if lineage is not None:
+                lineage.emit_drop("rx_ring_overflow", self.addr, pkt.segment,
+                                  parent=pkt.cause)
             return
         self._rx_queue.append(pkt)
         if not self._rx_active:

@@ -30,7 +30,7 @@ class NetPacket:
     """
 
     __slots__ = ("src", "dst", "segment", "seg_bytes", "id", "hops",
-                 "born_us", "corrupted")
+                 "born_us", "corrupted", "cause", "blame")
 
     def __init__(self, src: str, dst: str, segment: Any, seg_bytes: int,
                  born_us: int = 0):
@@ -42,6 +42,8 @@ class NetPacket:
         self.hops = 0
         self.born_us = born_us
         self.corrupted = False   # bit errors in flight; checksum catches
+        self.cause = 0           # lineage id of the tx event (obs.causal)
+        self.blame = 0           # lineage id of the fault that damaged us
 
     @property
     def wire_bytes(self) -> int:
@@ -57,6 +59,8 @@ class NetPacket:
                         self.born_us)
         dup.hops = self.hops
         dup.corrupted = self.corrupted
+        dup.cause = self.cause
+        dup.blame = self.blame
         return dup
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -63,16 +63,26 @@ class Pipe:
         self.fault_loss_rate = 0.0     # degrade: extra loss, own substream
         self.fault_drops = 0
         self._fault_rng = substream(seed, f"fault:pipe:{self.name}")
+        # lineage id of the fault action degrading this pipe (obs.causal)
+        self.fault_cause = 0
 
     def _fault_dropped(self, pkt: NetPacket) -> bool:
         if not self.up:
             self.fault_drops += 1
+            self._emit_drop("pipe_down", pkt, blame=self.fault_cause)
             return True
         if self.fault_loss_rate > 0.0 and \
                 self._fault_rng.random() < self.fault_loss_rate:
             self.fault_drops += 1
+            self._emit_drop("pipe_fault_loss", pkt, blame=self.fault_cause)
             return True
         return False
+
+    def _emit_drop(self, why: str, pkt: NetPacket, blame: int = 0) -> None:
+        lineage = self.sim.lineage
+        if lineage is not None:
+            lineage.emit_drop(why, self.name, pkt.segment,
+                              parent=pkt.cause, blame=blame)
 
     def connect(self, dst) -> None:
         """Attach the downstream end (Router or NetworkInterface)."""
@@ -91,9 +101,11 @@ class Pipe:
             return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.loss_drops += 1
+            self._emit_drop("pipe_loss", pkt)
             return
         if self._queued >= self.queue_limit:
             self.queue_drops += 1
+            self._emit_drop("pipe_queue_overflow", pkt)
             return
         if self.corrupt_rate > 0.0 and self._rng.random() < self.corrupt_rate:
             pkt.corrupted = True   # delivered damaged; checksum catches it
@@ -126,6 +138,7 @@ class Pipe:
             return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.loss_drops += 1
+            self._emit_drop("pipe_loss", pkt)
             return
         self.forwarded += 1
         self.bytes_carried += pkt.wire_bytes
@@ -179,6 +192,12 @@ class Router:
     def ingress(self, pkt: NetPacket) -> None:
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.loss_drops += 1
+            lineage = self.sim.lineage
+            if lineage is not None:
+                # correlated loss: the copy dies before duplication, so
+                # every downstream receiver misses it
+                lineage.emit_drop("router_loss", self.name, pkt.segment,
+                                  parent=pkt.cause)
             return
         self.sim.call_after(self.forward_delay_us, self._forward, pkt)
 

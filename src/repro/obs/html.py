@@ -1,0 +1,146 @@
+"""Self-contained HTML run report.
+
+One file, no external assets, no JavaScript frameworks, no CDN: every
+byte of the report -- styling, inline SVG sparklines of the gauge
+series, the metrics tables, and the causal chains of the worst
+recovery episodes -- is generated here from the run's observability
+objects.  The output opens in any browser (including ``file://`` from
+a CI artifact download) and diffs cleanly in version control because
+the generation order is deterministic.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Optional
+
+__all__ = ["render_report", "write_report", "sparkline_svg"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 70em; color: #1a2733; }
+h1 { border-bottom: 2px solid #2a6592; padding-bottom: .2em; }
+h2 { color: #2a6592; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .8em 0; font-size: .9em; }
+th, td { border: 1px solid #c6d3dd; padding: .25em .6em;
+         text-align: right; }
+th { background: #eef3f7; }
+td:first-child, th:first-child { text-align: left;
+                                 font-family: monospace; }
+svg.spark { vertical-align: middle; }
+pre.chain { background: #f6f8fa; border: 1px solid #dde4ea;
+            border-radius: 4px; padding: .7em; font-size: .85em;
+            overflow-x: auto; }
+p.meta { color: #5a6b7a; font-size: .85em; }
+.stall { border-left: 4px solid #c0392b; padding-left: .8em; }
+"""
+
+
+def sparkline_svg(t_us: list, values: list, *, width: int = 220,
+                  height: int = 36, color: str = "#2a6592") -> str:
+    """An inline SVG polyline sparkline of one gauge series."""
+    if len(values) < 2:
+        return "<span>(not enough samples)</span>"
+    t0, t1 = t_us[0], t_us[-1]
+    vmin, vmax = min(values), max(values)
+    tspan = (t1 - t0) or 1
+    vspan = (vmax - vmin) or 1.0
+    pts = []
+    for t, v in zip(t_us, values):
+        x = 2 + (width - 4) * (t - t0) / tspan
+        y = 2 + (height - 4) * (1.0 - (v - vmin) / vspan)
+        pts.append(f"{x:.1f},{y:.1f}")
+    return (f'<svg class="spark" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}" role="img">'
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+            f'points="{" ".join(pts)}"/></svg>')
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value))
+
+
+def _table(headers: list, rows: list) -> list[str]:
+    out = ["<table>", "<tr>" + "".join(f"<th>{_esc(h)}</th>"
+                                       for h in headers) + "</tr>"]
+    for row in rows:
+        out.append("<tr>" + "".join(f"<td>{_esc(c)}</td>"
+                                    for c in row) + "</tr>")
+    out.append("</table>")
+    return out
+
+
+def render_report(obs, *, title: str = "H-RMC run report",
+                  diagnoser=None, worst_k: int = 3,
+                  extra_meta: Optional[dict] = None) -> str:
+    """Build the full HTML document for one observed run.
+
+    ``obs`` is the run's :class:`~repro.obs.observer.Observability`;
+    ``diagnoser`` (a :class:`~repro.obs.diag.Diagnoser`, optional)
+    contributes the worst-recovery causal chains and any stall report.
+    """
+    out = ["<!DOCTYPE html>", '<html lang="en"><head>',
+           '<meta charset="utf-8">',
+           f"<title>{_esc(title)}</title>",
+           f"<style>{_STYLE}</style>", "</head><body>",
+           f"<h1>{_esc(title)}</h1>"]
+
+    meta_bits = []
+    if obs.finalized_at_us is not None:
+        meta_bits.append(f"simulated end t={obs.finalized_at_us} us")
+    meta_bits.append(f"{obs.registry.scrapes} scrapes")
+    for key, value in (extra_meta or {}).items():
+        meta_bits.append(f"{_esc(key)}={_esc(value)}")
+    out.append(f'<p class="meta">{" · ".join(meta_bits)}</p>')
+
+    # -- metrics tables (the PR-2 summary layer, verbatim) -------------
+    for table_title, headers, rows in obs.summary_tables():
+        out.append(f"<h2>{_esc(table_title)}</h2>")
+        out.extend(_table(headers, rows))
+
+    # -- gauge sparklines ----------------------------------------------
+    spark_rows = []
+    for name, series in obs.registry.series.items():
+        if len(series) < 2:
+            continue
+        spark_rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f"<td>{sparkline_svg(series.t_us, series.values)}</td>"
+            f"<td>{series.values[-1]:.2f}{_esc(series.unit)}</td></tr>")
+    if spark_rows:
+        out.append("<h2>gauge series</h2>")
+        out.append("<table><tr><th>series</th><th>sparkline</th>"
+                   "<th>last</th></tr>")
+        out.extend(spark_rows)
+        out.append("</table>")
+
+    # -- causal diagnosis ----------------------------------------------
+    if diagnoser is not None:
+        worst = diagnoser.explain_worst(worst_k)
+        if worst:
+            out.append(f"<h2>slowest {len(worst)} recovery episodes "
+                       "(causal chains)</h2>")
+            for span, why in worst:
+                out.append(f"<h3>{_esc(span.name)} @ {_esc(span.host)} "
+                           f"&mdash; {span.dur_us} us</h3>")
+                out.append(f'<pre class="chain">{_esc(why.render())}</pre>')
+        stall = diagnoser.why_stalled()
+        if stall is not None:
+            out.append('<h2 class="stall">stall detected</h2>')
+            out.append(f'<pre class="chain stall">'
+                       f'{_esc(stall.render())}</pre>')
+        stats = diagnoser.lineage.stats()
+        out.append(f'<p class="meta">causal DAG: {stats["nodes"]} nodes '
+                   f'({stats["pruned"]} pruned), '
+                   f'{stats["drops_indexed"]} indexed drops</p>')
+
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_report(path: str, obs, **kwargs) -> str:
+    """Render and write the report; returns ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_report(obs, **kwargs))
+        fh.write("\n")
+    return path

@@ -59,7 +59,9 @@ class Observability:
     """
 
     def __init__(self, *, scrape_interval_us: int = 50_000,
-                 profile: bool = False,
+                 profile: bool = False, lineage: bool = False,
+                 lineage_max_nodes: int = 200_000,
+                 stall_after_us: int = 2_000_000,
                  latency_bounds=LATENCY_BOUNDS_US):
         if scrape_interval_us <= 0:
             raise ValueError("scrape_interval_us must be positive")
@@ -72,6 +74,15 @@ class Observability:
         self._sim = None
         self.attached = False
         self.finalized_at_us: Optional[int] = None
+        # causal lineage + diagnosis (repro.obs.causal / .diag): pure
+        # bookkeeping riding the same attach, preserving the
+        # zero-perturbation guarantee
+        self._want_lineage = bool(lineage)
+        self._lineage_max_nodes = int(lineage_max_nodes)
+        self._stall_after_us = int(stall_after_us)
+        self.lineage = None
+        self.watchdog = None
+        self.tracer = None
 
     # -- wiring ---------------------------------------------------------
 
@@ -85,11 +96,22 @@ class Observability:
             raise RuntimeError("Observability instance already attached")
         self.attached = True
         self._sim = sim = scenario.sim
+        self.tracer = tracer
         reg = self.registry
 
         self.spans = SpanCollector(scenario.sender.addr,
                                    self._latency_bounds)
         tracer.add_raw_listener(self.spans.on_event)
+
+        if self._want_lineage:
+            from repro.obs.causal import LineageRecorder
+            from repro.obs.diag import Watchdog
+            self.lineage = LineageRecorder(
+                sim, max_nodes=self._lineage_max_nodes)
+            sim.lineage = self.lineage
+            self.watchdog = Watchdog(
+                sim, self._progress_signature(ssock, list(rsocks)),
+                stall_after_us=self._stall_after_us)
 
         # engine
         reg.gauge("engine.queue_depth", sim.pending)
@@ -144,6 +166,11 @@ class Observability:
 
     def _tick(self) -> None:
         self.registry.scrape(self._sim.now)
+        if self.watchdog is not None:
+            # passive mid-run stall detection: piggybacks on the scrape
+            # tick instead of scheduling its own events (two
+            # pending-gated loops would keep each other alive forever)
+            self.watchdog.check(self._sim.now)
         # re-arm only while other work is scheduled: when the protocol
         # drains, the scrape loop stops instead of ticking to the run's
         # time horizon
@@ -159,6 +186,34 @@ class Observability:
         self.registry.scrape(now_us)
         if self.spans is not None:
             self.spans.finalize(now_us)
+
+    @staticmethod
+    def _progress_signature(ssock, rsocks):
+        """A pure-read signature of transport progress for the
+        watchdog: the sender's next-to-send plus every receiver's
+        next-expected sequence.  Frozen signature + pending events =
+        the run is burning simulated time without moving data."""
+        def signature() -> tuple:
+            parts = []
+            sender = getattr(getattr(ssock, "transport", None),
+                             "sender", None)
+            parts.append(getattr(sender, "snd_nxt", None))
+            for sock in rsocks:
+                receiver = getattr(getattr(sock, "transport", None),
+                                   "receiver", None)
+                parts.append(getattr(receiver, "rcv_nxt", None))
+            return tuple(parts)
+        return signature
+
+    def diag(self):
+        """A :class:`~repro.obs.diag.Diagnoser` over this run's causal
+        DAG (requires ``lineage=True``)."""
+        if self.lineage is None:
+            raise RuntimeError("Observability(lineage=True) required "
+                               "for diagnosis")
+        from repro.obs.diag import Diagnoser
+        return Diagnoser(self.lineage, spans=self.spans,
+                         watchdog=self.watchdog)
 
     # -- gauge helpers (pure reads, defensive against role lifecycles) --
 
@@ -262,10 +317,13 @@ class Observability:
         """The text timeline/summary (see :func:`repro.obs.export.summary_text`)."""
         return summary_text(self)
 
-    def write_artifacts(self, outdir: str, *,
-                        prefix: str = "run") -> dict[str, str]:
+    def write_artifacts(self, outdir: str, *, prefix: str = "run",
+                        html: bool = False) -> dict[str, str]:
         """Write every export into ``outdir``: JSONL + CSV series, the
-        Perfetto trace and the text summary.  Returns name -> path."""
+        Perfetto trace and the text summary; with lineage enabled also
+        the packet trace + causal DAG (the inputs ``hrmc diff`` and
+        ``hrmc why`` align), and optionally the self-contained HTML
+        report.  Returns name -> path."""
         os.makedirs(outdir, exist_ok=True)
         paths = {
             "series_jsonl": os.path.join(outdir, f"{prefix}.series.jsonl"),
@@ -279,4 +337,17 @@ class Observability:
         with open(paths["summary"], "w") as fh:
             fh.write(self.summary())
             fh.write("\n")
+        if self.tracer is not None and self.lineage is not None:
+            paths["trace"] = os.path.join(outdir, f"{prefix}.trace.jsonl")
+            self.tracer.save(paths["trace"])
+            paths["lineage"] = os.path.join(outdir,
+                                            f"{prefix}.lineage.jsonl")
+            self.lineage.save(paths["lineage"])
+        if html:
+            from repro.obs.html import write_report
+            paths["html"] = os.path.join(outdir, f"{prefix}.report.html")
+            write_report(paths["html"], self,
+                         title=f"H-RMC run report: {prefix}",
+                         diagnoser=self.diag() if self.lineage is not None
+                         else None)
         return paths

@@ -26,9 +26,14 @@ class SimulationError(RuntimeError):
 
 
 class _Entry:
-    """Heap entry.  ``cancelled`` supports O(1) lazy cancellation."""
+    """Heap entry.  ``cancelled`` supports O(1) lazy cancellation.
 
-    __slots__ = ("time", "order", "callback", "args", "cancelled")
+    ``cause`` is the causal-lineage node id of the event that scheduled
+    this one (0 when lineage is off or the scheduler had no lineage);
+    see :mod:`repro.obs.causal`.
+    """
+
+    __slots__ = ("time", "order", "callback", "args", "cancelled", "cause")
 
     def __init__(self, time: int, order: int, callback: Callable, args: tuple):
         self.time = time
@@ -36,6 +41,7 @@ class _Entry:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.cause = 0
 
     def __lt__(self, other: "_Entry") -> bool:
         if self.time != other.time:
@@ -74,6 +80,12 @@ class Simulator:
         # Cancelled entries never reach the hook and compaction only
         # discards entries that will never fire, so attribution is exact.
         self.profiler = None
+        # optional causal-lineage recorder (see repro.obs.causal): when
+        # set, every scheduled entry captures the lineage of the event
+        # scheduling it, and the recorder's ``current`` is restored to
+        # that captured cause while the entry executes.  Pure
+        # bookkeeping -- no events, no RNG, no reordering.
+        self.lineage = None
 
     @property
     def now(self) -> int:
@@ -92,6 +104,9 @@ class Simulator:
                 f"cannot schedule at t={when} (now is {self._now})"
             )
         entry = _Entry(int(when), self._order, callback, args)
+        lineage = self.lineage
+        if lineage is not None:
+            entry.cause = lineage.current
         self._order += 1
         heapq.heappush(self._heap, entry)
         self._live += 1
@@ -137,6 +152,7 @@ class Simulator:
         self._running = True
         budget = max_events if max_events is not None else -1
         profiler = self.profiler
+        lineage = self.lineage
         try:
             while self._heap:
                 entry = self._heap[0]
@@ -151,6 +167,8 @@ class Simulator:
                 prev = self._now
                 self._now = entry.time
                 self.events_processed += 1
+                if lineage is not None:
+                    lineage.current = entry.cause
                 if profiler is None:
                     entry.callback(*entry.args)
                 else:
@@ -162,6 +180,8 @@ class Simulator:
                         break
         finally:
             self._running = False
+            if lineage is not None:
+                lineage.current = 0
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -177,11 +197,16 @@ class Simulator:
             prev = self._now
             self._now = entry.time
             self.events_processed += 1
+            lineage = self.lineage
+            if lineage is not None:
+                lineage.current = entry.cause
             if self.profiler is None:
                 entry.callback(*entry.args)
             else:
                 self.profiler.execute(entry.callback, entry.args,
                                       entry.time - prev)
+            if lineage is not None:
+                lineage.current = 0
             return True
         return False
 
@@ -195,3 +220,11 @@ class Simulator:
             heapq.heappop(self._heap)
             self._dead -= 1
         return self._heap[0].time if self._heap else None
+
+    def pending_entries(self, limit: int = 32) -> list[_Entry]:
+        """The next ``limit`` live entries in firing order, without
+        disturbing the heap.  Diagnostic only (stall-frontier snapshots
+        -- see repro.obs.diag); O(n log n) in the heap size."""
+        live = [e for e in self._heap if not e.cancelled]
+        live.sort()
+        return live[:limit]

@@ -122,6 +122,9 @@ class Process:
         if not self.alive:
             return
         self._waiting_on = None
+        lineage = getattr(self._sim, "lineage", None)
+        if lineage is not None and self.name:
+            lineage.emit("wake", "", self.name)
         try:
             yielded = self._gen.send(value)
         except StopIteration as stop:

@@ -13,16 +13,35 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.core.types import PacketType
-from repro.trace.tracer import TraceEvent
+from repro.trace.tracer import TraceEvent, load_trace, trace_meta
 
-__all__ = ["packet_summary", "throughput_timeline", "sequence_progress",
-           "sparkline", "feedback_latency"]
+__all__ = ["load_capture", "packet_summary", "throughput_timeline",
+           "sequence_progress", "sparkline", "feedback_latency"]
 
 _BARS = "▁▂▃▄▅▆▇█"
 
 
-def packet_summary(events: Sequence[TraceEvent]) -> dict[str, dict]:
-    """Per-packet-type counts and bytes, plus retransmission stats."""
+def load_capture(path: str) -> tuple[list[TraceEvent], Optional[dict]]:
+    """Load a saved capture together with its ``_meta`` record.
+
+    Returns ``(events, meta)`` where ``meta`` is the truncation marker
+    dict written by :meth:`PacketTracer.save` (``{"truncated": True,
+    "ring": ..., "dropped": N}``) or ``None`` for a complete capture.
+    Analysis of a truncated capture is analysis of a *suffix* of the
+    run -- pass ``meta`` on to :func:`packet_summary` so the gap is
+    surfaced in the output rather than silently folded into the stats.
+    """
+    return load_trace(path), trace_meta(path)
+
+
+def packet_summary(events: Sequence[TraceEvent],
+                   meta: Optional[dict] = None) -> dict[str, dict]:
+    """Per-packet-type counts and bytes, plus retransmission stats.
+
+    ``meta`` is the capture's ``_meta`` record (see
+    :func:`load_capture`); a truncated capture is surfaced as a
+    ``"_capture"`` entry so counts are read as lower bounds.
+    """
     out: dict[str, dict] = defaultdict(lambda: {"count": 0, "bytes": 0})
     retrans = {"count": 0, "bytes": 0}
     for ev in events:
@@ -42,6 +61,10 @@ def packet_summary(events: Sequence[TraceEvent]) -> dict[str, dict]:
     result["_retransmissions"] = dict(
         retrans,
         ratio=(retrans["count"] / data["count"] if data["count"] else 0.0))
+    if meta is not None and meta.get("truncated"):
+        result["_capture"] = {"truncated": True,
+                              "dropped": int(meta.get("dropped", 0)),
+                              "ring": bool(meta.get("ring", False))}
     return result
 
 

@@ -94,6 +94,9 @@ def test_min_max_consistent(a, d):
 
 @given(seqs, seqs)
 def test_lt_gt_duality(a, b):
-    if a != b:
+    # comparison is documented as valid only while the live window spans
+    # less than 2**31 bytes; at exactly half the space the ordering of a
+    # serial-number pair is undefined (RFC 1982's excluded point)
+    if a != b and (a - b) & SEQ_MASK != 2**31:
         assert seq_lt(a, b) != seq_lt(b, a)
         assert seq_lt(a, b) == seq_gt(b, a)

@@ -230,3 +230,31 @@ def test_load_trace_sorts_out_of_order_records(tmp_path):
     path.write_text("\n".join(json.dumps(asdict(e)) for e in evs) + "\n")
     back = load_trace(str(path))
     assert [e.t_us for e in back] == [10, 20, 30]
+
+
+def test_load_capture_surfaces_truncation(tmp_path):
+    """The analyzer consumes the _meta record explicitly: a truncated
+    capture is flagged in packet_summary output, a complete one is not."""
+    from repro.trace import load_capture
+    tracer = PacketTracer(max_events=5, ring=True)
+    for i in range(12):
+        tracer.events.append(_mk_event(t_us=100 + i, seq=i))
+    tracer.dropped = 7
+    path = tmp_path / "ring.jsonl"
+    tracer.save(str(path))
+
+    events, meta = load_capture(str(path))
+    assert len(events) == 5
+    assert meta == {"truncated": True, "ring": True, "dropped": 7}
+    summary = packet_summary(events, meta)
+    assert summary["_capture"] == {"truncated": True, "dropped": 7,
+                                   "ring": True}
+
+    # a complete capture carries no _capture entry
+    full = PacketTracer()
+    full.events.append(_mk_event(t_us=1, seq=0))
+    ok_path = tmp_path / "ok.jsonl"
+    full.save(str(ok_path))
+    events, meta = load_capture(str(ok_path))
+    assert meta is None
+    assert "_capture" not in packet_summary(events, meta)
