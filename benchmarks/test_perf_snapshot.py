@@ -18,6 +18,7 @@ import time
 
 from repro.harness.runner import run_transfer
 from repro.obs import Observability
+from repro.stats.bench import write_bench_snapshot
 from repro.workloads.scenarios import build_lan
 
 BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
@@ -64,11 +65,9 @@ def test_perf_snapshot():
         "sim_duration_s": round(res.duration_us / 1e6, 3),
         "peak_rss_kb": _peak_rss_kb(),
     }
-    with open(BENCH_PATH, "w") as fh:
-        json.dump(snapshot, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    doc = write_bench_snapshot(BENCH_PATH, "engine-snapshot", snapshot)
     print()
-    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    print(json.dumps(doc, indent=2, sort_keys=True))
 
     # loose floors: an order of magnitude below typical CI numbers
     assert engine_eps > 5_000, snapshot

@@ -17,6 +17,7 @@ import time
 
 from repro.harness.runner import run_transfer
 from repro.obs import Observability
+from repro.stats.bench import write_bench_snapshot
 from repro.workloads.scenarios import build_lan
 
 BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
@@ -67,11 +68,9 @@ def test_perf_snapshot_lineage():
         "lineage_on": on,
         "events_per_s_ratio_on_over_off": round(ratio, 3),
     }
-    with open(BENCH_PATH, "w") as fh:
-        json.dump(snapshot, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    doc = write_bench_snapshot(BENCH_PATH, "lineage-overhead", snapshot)
     print()
-    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    print(json.dumps(doc, indent=2, sort_keys=True))
 
     # the lineage DAG actually recorded the run
     assert on["lineage_nodes"] > 1_000, snapshot

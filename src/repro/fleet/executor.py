@@ -1,0 +1,312 @@
+"""Fault-tolerant parallel executor for RunSpec grids.
+
+:class:`Fleet` fans a list of :class:`RunSpec` jobs out over a
+process pool (forkserver where available, so workers start from a
+clean interpreter) with:
+
+* a content-addressed result cache consulted before any execution,
+* per-job wall-clock timeouts (armed inside the worker),
+* bounded retries with exponential backoff,
+* crashed-worker recovery -- a broken pool is rebuilt and the
+  incomplete jobs requeued,
+* deterministic output: results are keyed by spec hash and returned in
+  submission order, independent of completion order, and every
+  execution path (serial, parallel, cached) flows through the same
+  canonical summary dicts, so aggregates are byte-identical.
+
+Progress (completed / running / cached / failed) is reported on stderr
+when ``progress=True``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fleet.fingerprint import code_fingerprint
+from repro.fleet.spec import RunSpec
+from repro.fleet.store import ResultStore
+from repro.fleet.summary import RunSummary
+from repro.fleet.worker import execute_spec
+
+__all__ = ["Fleet", "FleetError", "FleetStats"]
+
+
+class FleetError(RuntimeError):
+    """Raised when jobs are still failing after every retry."""
+
+
+@dataclass
+class FleetStats:
+    """What one :meth:`Fleet.run_specs` sweep did."""
+
+    runs: int = 0            # unique specs requested
+    executed: int = 0        # simulations actually run
+    cached: int = 0          # served from the store
+    failed: int = 0          # gave up after retries
+    retries: int = 0         # re-submissions after a failure
+    pool_restarts: int = 0   # broken pools rebuilt
+    wall_s: float = 0.0
+    store: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        d = {"runs": self.runs, "executed": self.executed,
+             "cached": self.cached, "failed": self.failed,
+             "retries": self.retries,
+             "pool_restarts": self.pool_restarts,
+             "wall_s": round(self.wall_s, 3)}
+        if self.store:
+            d["store"] = dict(self.store)
+        return d
+
+    def render(self) -> str:
+        bits = [f"{self.runs} runs", f"{self.cached} cached",
+                f"{self.executed} executed"]
+        if self.retries:
+            bits.append(f"{self.retries} retries")
+        if self.pool_restarts:
+            bits.append(f"{self.pool_restarts} pool restarts")
+        if self.failed:
+            bits.append(f"{self.failed} FAILED")
+        return f"fleet: {', '.join(bits)} in {self.wall_s:.1f}s"
+
+
+class _Progress:
+    """One-line live counter on stderr (overwritten in place)."""
+
+    def __init__(self, enabled: bool, total: int):
+        self.enabled = enabled and total > 0
+        self.total = total
+        self._dirty = False
+
+    def update(self, done: int, running: int, cached: int,
+               failed: int) -> None:
+        if not self.enabled:
+            return
+        line = (f"fleet: {done}/{self.total} done "
+                f"({cached} cached, {running} running"
+                + (f", {failed} failed" if failed else "") + ")")
+        print(f"\r{line:<70}", end="", file=sys.stderr, flush=True)
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self.enabled and self._dirty:
+            print(file=sys.stderr, flush=True)
+
+
+def _mp_context():
+    # fork: cheap worker start and no __main__ re-import requirement.
+    # Job isolation does not depend on process hygiene -- the worker
+    # rebuilds the whole world from the spec (regression-tested) -- so
+    # inheriting the parent image is safe.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class Fleet:
+    """Executor for RunSpec grids; construct once, run many sweeps.
+
+    ``workers=1`` (the default) runs jobs in-process through the very
+    same worker entry point the pool uses; ``cache_dir=None`` disables
+    the result store entirely (every job executes).
+    """
+
+    def __init__(self, *, workers: int = 1,
+                 cache_dir: Optional[str] = None,
+                 refresh: bool = False,
+                 timeout_s: Optional[float] = 900.0,
+                 retries: int = 2, backoff_s: float = 0.25,
+                 progress: bool = False):
+        self.workers = max(1, int(workers))
+        self.refresh = refresh
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.progress = progress
+        self.fingerprint = code_fingerprint()
+        self.store = (ResultStore(cache_dir, self.fingerprint)
+                      if cache_dir else None)
+        self.stats = FleetStats()
+
+    # -- public API ----------------------------------------------------
+
+    def run_specs(self, specs: list[RunSpec], *,
+                  strict: bool = True) -> dict[str, RunSummary]:
+        """Execute ``specs``; returns ``{content_hash: RunSummary}`` in
+        submission order.  With ``strict`` (default), any job that
+        still fails after the retry budget raises :class:`FleetError`
+        naming every failed spec (after the rest of the sweep has
+        completed, so partial results land in the cache)."""
+        t0 = time.perf_counter()
+        ordered: list[RunSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            h = spec.content_hash()
+            if h not in seen:
+                seen.add(h)
+                ordered.append(spec)
+        self.stats.runs += len(ordered)
+
+        results: dict[str, RunSummary] = {}
+        errors: dict[str, str] = {}
+        pending: list[RunSpec] = []
+        for spec in ordered:
+            cached = None
+            if self.store is not None and not self.refresh:
+                cached = self.store.get(spec)
+            if cached is not None:
+                results[spec.content_hash()] = cached
+                self.stats.cached += 1
+            else:
+                pending.append(spec)
+
+        progress = _Progress(self.progress, len(ordered))
+        progress.update(len(results), 0, self.stats.cached, 0)
+        try:
+            if pending:
+                if self.workers == 1:
+                    self._run_serial(pending, results, errors, progress)
+                else:
+                    self._run_pool(pending, results, errors, progress)
+        finally:
+            progress.finish()
+            self.stats.wall_s += time.perf_counter() - t0
+            if self.store is not None:
+                self.stats.store = self.store.stats.as_dict()
+
+        if errors and strict:
+            lines = "\n".join(f"  {h[:12]}: {msg}"
+                              for h, msg in sorted(errors.items()))
+            raise FleetError(
+                f"{len(errors)} job(s) failed after "
+                f"{self.retries} retries:\n{lines}")
+        # submission order, not completion order
+        return {s.content_hash(): results[s.content_hash()]
+                for s in ordered if s.content_hash() in results}
+
+    # -- execution paths -----------------------------------------------
+
+    def _record(self, spec: RunSpec, summary_dict: dict,
+                results: dict) -> None:
+        if self.store is not None:
+            self.store.put(spec, summary_dict)
+        results[spec.content_hash()] = RunSummary.from_dict(summary_dict)
+        self.stats.executed += 1
+
+    def _run_serial(self, pending, results, errors, progress) -> None:
+        done = len(results)
+        for spec in pending:
+            attempts = 0
+            while True:
+                try:
+                    progress.update(done, 1, self.stats.cached,
+                                    self.stats.failed)
+                    self._record(spec, execute_spec(spec.to_dict(),
+                                                    self.timeout_s),
+                                 results)
+                    done += 1
+                    break
+                except Exception as exc:  # noqa: BLE001 - job boundary
+                    attempts += 1
+                    if attempts > self.retries:
+                        errors[spec.content_hash()] = \
+                            f"{spec.describe()}: {exc}"
+                        self.stats.failed += 1
+                        break
+                    self.stats.retries += 1
+                    time.sleep(self.backoff_s * (2 ** (attempts - 1)))
+            progress.update(done, 0, self.stats.cached, self.stats.failed)
+
+    def _run_pool(self, pending, results, errors, progress) -> None:
+        ctx = _mp_context()
+        pool = ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=ctx)
+        attempts: dict[str, int] = {}
+        # jobs whose backoff has not elapsed yet: [(ready_at, spec)]
+        backlog: list[tuple[float, RunSpec]] = []
+        inflight: dict = {}
+        queue = list(pending)
+        done = len(results)
+        max_pool_restarts = self.workers + 2
+        try:
+            while queue or inflight or backlog:
+                now = time.monotonic()
+                ready = [s for t, s in backlog if t <= now]
+                backlog = [(t, s) for t, s in backlog if t > now]
+                queue.extend(ready)
+                while queue:
+                    spec = queue.pop(0)
+                    try:
+                        fut = pool.submit(execute_spec, spec.to_dict(),
+                                          self.timeout_s)
+                    except (BrokenProcessPool, RuntimeError):
+                        pool, queue, inflight = self._rebuild_pool(
+                            pool, ctx, spec, queue, inflight,
+                            max_pool_restarts)
+                        continue
+                    inflight[fut] = spec
+                progress.update(done, len(inflight), self.stats.cached,
+                                self.stats.failed)
+                if not inflight:
+                    if backlog:
+                        time.sleep(max(0.0, min(t for t, _ in backlog)
+                                       - time.monotonic()))
+                    continue
+                completed, _ = wait(list(inflight),
+                                    return_when=FIRST_COMPLETED,
+                                    timeout=0.5)
+                for fut in completed:
+                    spec = inflight.pop(fut, None)
+                    if spec is None:  # orphaned by a pool rebuild
+                        continue
+                    try:
+                        summary_dict = fut.result()
+                    except BrokenProcessPool:
+                        # the worker died (OOM-kill, segfault, ...):
+                        # rebuild the pool and requeue everything that
+                        # was in flight, this job included; remaining
+                        # futures of the dead pool are orphaned above
+                        pool, queue, inflight = self._rebuild_pool(
+                            pool, ctx, spec, queue, inflight,
+                            max_pool_restarts)
+                        break
+                    except Exception as exc:  # noqa: BLE001
+                        h = spec.content_hash()
+                        attempts[h] = attempts.get(h, 0) + 1
+                        if attempts[h] > self.retries:
+                            errors[h] = f"{spec.describe()}: {exc}"
+                            self.stats.failed += 1
+                        else:
+                            self.stats.retries += 1
+                            delay = self.backoff_s * \
+                                (2 ** (attempts[h] - 1))
+                            backlog.append((time.monotonic() + delay,
+                                            spec))
+                        continue
+                    self._record(spec, summary_dict, results)
+                    done += 1
+                progress.update(done, len(inflight), self.stats.cached,
+                                self.stats.failed)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _rebuild_pool(self, pool, ctx, spec, queue, inflight,
+                      max_restarts):
+        """Replace a broken pool; requeue the in-flight jobs."""
+        self.stats.pool_restarts += 1
+        if self.stats.pool_restarts > max_restarts:
+            raise FleetError(
+                f"process pool died {self.stats.pool_restarts} times; "
+                f"giving up (last job: {spec.describe()})")
+        pool.shutdown(wait=False, cancel_futures=True)
+        requeue = [spec] + list(inflight.values()) + queue
+        return (ProcessPoolExecutor(max_workers=self.workers,
+                                    mp_context=ctx),
+                requeue, {})

@@ -1,0 +1,57 @@
+"""Protocol-code fingerprint: one hash over everything that can change
+a simulation result.
+
+The fleet's cache key is ``(RunSpec content hash, code fingerprint)``:
+editing any source file under ``src/repro/`` -- the protocol, the
+network models, the engine -- silently invalidates every cached result,
+while touching the orchestration layer itself (``src/repro/fleet/``)
+does not, because the orchestrator never influences what a worker
+computes from a spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["code_fingerprint"]
+
+#: subtrees that cannot affect a run's result and are excluded so that
+#: iterating on the orchestrator does not churn the cache
+_EXCLUDED_TOP_DIRS = frozenset({"fleet"})
+
+_cached: Optional[str] = None
+
+
+def _repro_root() -> Path:
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def code_fingerprint(root: Optional[str] = None) -> str:
+    """BLAKE2b over every ``*.py`` under ``root`` (default: the
+    installed ``repro`` package), excluding :data:`_EXCLUDED_TOP_DIRS`.
+
+    Paths are hashed relative to ``root`` with sorted ordering, so the
+    fingerprint is stable across machines, processes and checkout
+    locations -- it changes exactly when a source file's content,
+    name or location changes.
+    """
+    global _cached
+    if root is None and _cached is not None:
+        return _cached
+    base = Path(root) if root is not None else _repro_root()
+    h = hashlib.blake2b(digest_size=16)
+    for path in sorted(base.rglob("*.py")):
+        rel = path.relative_to(base)
+        if rel.parts and rel.parts[0] in _EXCLUDED_TOP_DIRS:
+            continue
+        h.update(str(rel).encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    digest = h.hexdigest()
+    if root is None:
+        _cached = digest
+    return digest

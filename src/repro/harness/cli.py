@@ -4,8 +4,11 @@ Usage::
 
     hrmc-experiments --list
     hrmc-experiments fig10 fig13
-    hrmc-experiments --all
-    hrmc-experiments --all --scale full
+    hrmc-experiments --all --parallel 4
+    hrmc-experiments --all --scale full --parallel 8 --cache-stats s.json
+    hrmc-experiments fig13 --refresh
+    hrmc-experiments fleet status
+    hrmc-experiments fleet prune
     hrmc-experiments --chaos-seed 10
     hrmc-experiments --fault-plan plan.json --metrics-out out/
     hrmc-experiments report lan --receivers 5 --metrics-out out/
@@ -14,7 +17,21 @@ Usage::
     hrmc-experiments why wan --seq 58401 --seed 21
     hrmc-experiments diff out/runA out/runB
 
-(or ``python -m repro.harness.cli``).  ``--chaos-seed``/``--fault-plan``
+(or ``python -m repro.harness.cli``).  Experiment runs go through the
+fleet (:mod:`repro.fleet`): specs are planned, served from the
+content-addressed cache under ``--cache-dir`` (default
+``.hrmc-cache``), and misses are executed -- across ``--parallel N``
+worker processes when asked.  Report bodies go to stdout and are
+byte-identical regardless of worker count or cache temperature; timing,
+progress and cache accounting go to stderr (``--cache-stats FILE``
+saves the accounting as JSON).  ``--no-cache`` runs without touching
+the cache; ``--refresh`` re-executes and overwrites cached entries.
+
+``fleet status`` summarizes the cache directory (entries, freshness
+against the current code fingerprint, bytes); ``fleet prune`` deletes
+entries the current code can no longer use.
+
+``--chaos-seed``/``--fault-plan``
 run one fault-injected transfer with the invariant checker attached and
 print what happened (see :mod:`repro.faults`).  ``--metrics-out DIR``
 additionally attaches the observability layer (:mod:`repro.obs`) and
@@ -44,9 +61,41 @@ import os
 import sys
 import time
 
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import (EXPERIMENTS, inventory_rows,
+                                       run_experiments)
 
 __all__ = ["main"]
+
+
+# -- fleet subcommand ---------------------------------------------------
+
+def _run_fleet(argv) -> int:
+    """``fleet status`` / ``fleet prune``: cache administration."""
+    from repro.fleet import DEFAULT_CACHE_DIR, ResultStore, code_fingerprint
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments fleet",
+        description="Inspect or prune the content-addressed run cache.")
+    parser.add_argument("action", choices=("status", "prune"))
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=DEFAULT_CACHE_DIR)
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.cache_dir, code_fingerprint())
+    if args.action == "prune":
+        removed = store.prune()
+        print(f"pruned {removed} stale/corrupt entries "
+              f"from {args.cache_dir}")
+        return 0
+    st = store.status()
+    print(f"cache dir: {args.cache_dir}")
+    print(f"entries:   {st.entries} ({st.total_bytes} bytes)")
+    print(f"fresh:     {st.fresh} (usable with the current code)")
+    print(f"stale:     {st.stale} (code fingerprint changed)")
+    print(f"corrupt:   {st.corrupt}")
+    for scenario, count in sorted(st.by_scenario.items()):
+        print(f"  {scenario}: {count}")
+    return 0
 
 
 def _run_chaos(args) -> int:
@@ -420,6 +469,8 @@ def main(argv=None) -> int:
         return _run_why(argv[1:])
     if argv and argv[0] == "diff":
         return _run_diff(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _run_fleet(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hrmc-experiments",
         description="Regenerate the tables and figures of the H-RMC "
@@ -435,6 +486,22 @@ def main(argv=None) -> int:
                              "full = paper-size 10/40 MB transfers")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes for the run fleet "
+                             "(default 1 = serial in-process)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed run cache location "
+                             "(default .hrmc-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the run cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-execute every run, overwriting cached "
+                             "entries")
+    parser.add_argument("--cache-stats", metavar="FILE", default=None,
+                        help="write fleet/cache accounting as JSON")
+    parser.add_argument("--job-timeout", type=float, default=900.0,
+                        metavar="S", help="per-run wall-clock budget in "
+                                          "seconds (default 900)")
     parser.add_argument("--chaos-seed", type=int, default=None, metavar="N",
                         help="run one chaos transfer with a seed-random "
                              "fault plan and the invariant checker on")
@@ -456,24 +523,55 @@ def main(argv=None) -> int:
         return _run_chaos(args)
 
     if args.list:
-        for exp_id in EXPERIMENTS:
-            print(exp_id)
+        rows = inventory_rows()
+        wid = max(len(r[0]) for r in rows)
+        wfig = max(len(r[1]) for r in rows)
+        for exp_id, figure, bench in rows:
+            print(f"{exp_id:<{wid}}  {figure:<{wfig}}  {bench}")
         return 0
 
     targets = list(EXPERIMENTS) if args.all else args.experiments
     if not targets:
         parser.print_usage()
         return 2
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        for exp_id in unknown:
+            print(f"unknown experiment {exp_id!r}; "
+                  f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
 
-    status = 0
+    from repro.fleet import DEFAULT_CACHE_DIR, Fleet, FleetError
+    cache_dir = None if args.no_cache else \
+        (args.cache_dir or DEFAULT_CACHE_DIR)
+    fleet = Fleet(workers=args.parallel, cache_dir=cache_dir,
+                  refresh=args.refresh, timeout_s=args.job_timeout,
+                  progress=sys.stderr.isatty())
+    started = time.time()
+    try:
+        reports = run_experiments(targets, args.scale, fleet)
+    except FleetError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        elapsed = time.time() - started
+        print(fleet.stats.render(), file=sys.stderr)
+        if args.cache_stats:
+            stats = dict(fleet.stats.as_dict(), argv=targets,
+                         parallel=args.parallel, scale=args.scale,
+                         elapsed_s=round(elapsed, 3))
+            try:
+                with open(args.cache_stats, "w") as fh:
+                    json.dump(stats, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:
+                print(f"cannot write {args.cache_stats!r}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
+
+    # stdout carries only the deterministic report bodies: identical
+    # for serial, parallel and warm-cache executions (CI byte-compares)
     for exp_id in targets:
-        started = time.time()
-        try:
-            report = run_experiment(exp_id, args.scale)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            status = 2
-            continue
+        report = reports[exp_id]
         if args.json:
             print(json.dumps({
                 "id": report.exp_id,
@@ -481,12 +579,14 @@ def main(argv=None) -> int:
                 "tables": [{"title": t, "headers": h, "rows": r}
                            for t, h, r in report.tables],
                 "notes": report.notes,
-                "elapsed_s": round(time.time() - started, 2),
-            }))
+            }, sort_keys=True))
         else:
             print(report.render())
-            print(f"[{exp_id} completed in {time.time() - started:.1f}s]\n")
-    return status
+            print()
+        print(f"[{exp_id} done]", file=sys.stderr)
+    print(f"[{len(targets)} experiment(s) in {elapsed:.1f}s]",
+          file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,23 +6,34 @@ size (2 MB / 8 MB instead of 10 MB / 40 MB) so the full suite runs in
 minutes; set ``REPRO_FULL_SCALE=1`` (or pass ``scale="full"``) for
 paper-size runs.  Shape claims -- who wins, trend directions, where the
 NAK onset falls -- hold at either scale.
+
+Since PR 4 every experiment expresses its simulations as a
+:class:`~repro.fleet.spec.RunSpec` grid executed through the fleet
+(:mod:`repro.fleet`): the experiment function is evaluated once to
+*plan* the grid, the fleet runs (or cache-serves) the specs -- in
+parallel if asked -- and the function is evaluated again to assemble
+the report from the summaries.  Serial, parallel and warm-cache
+executions produce byte-identical reports.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.config import HRMCConfig
 from repro.core.types import PACKET_TYPE_USE, PacketType
-from repro.harness.runner import TransferResult, run_transfer
+from repro.fleet.executor import Fleet
+from repro.fleet.grid import Grid
+from repro.fleet.spec import RunSpec
 from repro.stats.report import format_table
 from repro.workloads.groups import (GROUP_A, GROUP_B, GROUP_C, TEST_CASES,
                                     expand_test_case)
-from repro.workloads.scenarios import build_chaos, build_lan, build_wan
 
-__all__ = ["Report", "EXPERIMENTS", "run_experiment", "file_sizes",
+__all__ = ["Report", "EXPERIMENTS", "INVENTORY", "ExperimentInfo",
+           "run_experiment", "run_experiments", "plan_experiment",
+           "inventory_rows", "inventory_markdown", "file_sizes",
            "BUFFERS_K", "BUFFERS_BIG_K"]
 
 BUFFERS_K = (64, 128, 256, 512, 1024)
@@ -71,7 +82,8 @@ def _many_receivers(scale: Optional[str]) -> int:
 # ---------------------------------------------------------------------------
 # Table 1
 
-def table1_packet_types(scale: Optional[str] = None) -> Report:
+def table1_packet_types(scale: Optional[str] = None,
+                        grid: Optional[Grid] = None) -> Report:
     rep = Report("table1", "RMC and H-RMC packet types")
     rows = [(t.name, "H-RMC only" if t in (PacketType.UPDATE,
                                            PacketType.PROBE) else "both",
@@ -84,7 +96,9 @@ def table1_packet_types(scale: Optional[str] = None) -> Report:
 # ---------------------------------------------------------------------------
 # Figure 3: release-time information completeness
 
-def fig3_release_info(scale: Optional[str] = None) -> Report:
+def fig3_release_info(scale: Optional[str] = None,
+                      grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small // 2
     envs = [("LAN", GROUP_A), ("MAN", GROUP_B), ("WAN", GROUP_C)]
@@ -97,15 +111,14 @@ def fig3_release_info(scale: Optional[str] = None) -> Report:
         for buf in buffers:
             row = [f"{buf}K"]
             for _, group in envs:
-                sc = build_wan([group] * 10, MBPS_10, seed=7)
-                cfg = HRMCConfig()
-                if rmc:
-                    cfg = cfg.as_rmc()
-                    # keep the member table for measurement only
-                    cfg = replace(cfg, track_membership=True)
-                res = run_transfer(sc, nbytes=nbytes,
-                                   protocol="rmc" if rmc else "hrmc",
-                                   cfg=cfg, sndbuf=buf * 1024)
+                # RMC keeps the member table for measurement only
+                cfg = {"_rmc": True, "track_membership": True} if rmc \
+                    else {}
+                res = grid.run(RunSpec.wan(
+                    groups=[group.name] * 10, bandwidth_bps=MBPS_10,
+                    seed=7, nbytes=nbytes,
+                    protocol="rmc" if rmc else "hrmc", cfg=cfg,
+                    sndbuf=buf * 1024))
                 row.append(round(res.release_complete_pct, 1))
             rows.append(row)
         rep.add(label, ["buffer"] + [e[0] for e in envs], rows)
@@ -118,52 +131,54 @@ def fig3_release_info(scale: Optional[str] = None) -> Report:
 # ---------------------------------------------------------------------------
 # Figures 10-13: the experimental (LAN) study
 
-def _lan_throughput(bw: float, nbytes: int, mode_disk: bool,
+def _lan_throughput(grid: Grid, bw: float, nbytes: int, mode_disk: bool,
                     receivers, buffers, seed: int = 3):
     rows = []
     for buf in buffers:
         row = [f"{buf}K"]
         for n in receivers:
-            sc = build_lan(n, bw, seed=seed)
-            res = run_transfer(sc, nbytes=nbytes, sndbuf=buf * 1024,
-                               disk=mode_disk)
+            res = grid.run(RunSpec.lan(n, bw, seed=seed, nbytes=nbytes,
+                                       sndbuf=buf * 1024,
+                                       disk=mode_disk))
             row.append(round(res.throughput_mbps, 2))
         rows.append(row)
     return rows
 
 
-def fig10_throughput_10mbps(scale: Optional[str] = None) -> Report:
+def fig10_throughput_10mbps(scale: Optional[str] = None,
+                            grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, large = file_sizes(scale)
     rep = Report("fig10", "Throughput of H-RMC on a 10 Mbps network")
     receivers = (1, 2, 3)
     headers = ["buffer"] + [f"{n} rcv" for n in receivers]
     rep.add("(a) memory to memory, small file",
-            headers, _lan_throughput(MBPS_10, small, False, receivers,
-                                     BUFFERS_K))
+            headers, _lan_throughput(grid, MBPS_10, small, False,
+                                     receivers, BUFFERS_K))
     rep.add("(b) memory to memory, large file",
-            headers, _lan_throughput(MBPS_10, large, False, receivers,
-                                     BUFFERS_K))
+            headers, _lan_throughput(grid, MBPS_10, large, False,
+                                     receivers, BUFFERS_K))
     rep.add("(c) disk to disk, small file",
-            headers, _lan_throughput(MBPS_10, small, True, receivers,
-                                     BUFFERS_K))
+            headers, _lan_throughput(grid, MBPS_10, small, True,
+                                     receivers, BUFFERS_K))
     rep.add("(d) disk to disk, large file",
-            headers, _lan_throughput(MBPS_10, large, True, receivers,
-                                     BUFFERS_K))
+            headers, _lan_throughput(grid, MBPS_10, large, True,
+                                     receivers, BUFFERS_K))
     rep.notes.append("expect: throughput rises with buffer size and "
                      "saturates near 8.5-9 Mbps by 512K (paper Fig. 10).")
     return rep
 
 
-def _lan_feedback(bw: float, nbytes: int, mode_disk: bool, receivers,
-                  buffers, seed: int = 3):
+def _lan_feedback(grid: Grid, bw: float, nbytes: int, mode_disk: bool,
+                  receivers, buffers, seed: int = 3):
     rate_rows, nak_rows = [], []
     for buf in buffers:
         rr = [f"{buf}K"]
         nr = [f"{buf}K"]
         for n in receivers:
-            sc = build_lan(n, bw, seed=seed)
-            res = run_transfer(sc, nbytes=nbytes, sndbuf=buf * 1024,
-                               disk=mode_disk)
+            res = grid.run(RunSpec.lan(n, bw, seed=seed, nbytes=nbytes,
+                                       sndbuf=buf * 1024,
+                                       disk=mode_disk))
             rr.append(res.sender_stats.rate_requests_rcvd +
                       res.sender_stats.urgent_requests_rcvd)
             nr.append(res.sender_stats.naks_rcvd)
@@ -172,16 +187,20 @@ def _lan_feedback(bw: float, nbytes: int, mode_disk: bool, receivers,
     return rate_rows, nak_rows
 
 
-def fig11_feedback_10mbps(scale: Optional[str] = None) -> Report:
+def fig11_feedback_10mbps(scale: Optional[str] = None,
+                          grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, large = file_sizes(scale)
     rep = Report("fig11", "Feedback activity of H-RMC on 10 Mbps "
                           "(disk tests)")
     receivers = (1, 2, 3)
     headers = ["buffer"] + [f"{n} rcv" for n in receivers]
-    rr, nr = _lan_feedback(MBPS_10, small, True, receivers, BUFFERS_K)
+    rr, nr = _lan_feedback(grid, MBPS_10, small, True, receivers,
+                           BUFFERS_K)
     rep.add("(a) rate requests, small file, disk to disk", headers, rr)
     rep.add("(b) NAKs, small file, disk to disk", headers, nr)
-    rr, nr = _lan_feedback(MBPS_10, large, True, receivers, BUFFERS_K)
+    rr, nr = _lan_feedback(grid, MBPS_10, large, True, receivers,
+                           BUFFERS_K)
     rep.add("(c) rate requests, large file, disk to disk", headers, rr)
     rep.add("(d) NAKs, large file, disk to disk", headers, nr)
     rep.notes.append("expect: rate requests shrink as buffers grow; NAKs "
@@ -189,23 +208,29 @@ def fig11_feedback_10mbps(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def fig12_throughput_100mbps(scale: Optional[str] = None) -> Report:
+def fig12_throughput_100mbps(scale: Optional[str] = None,
+                             grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, large = file_sizes(scale)
     rep = Report("fig12", "Throughput of H-RMC on a 100 Mbps network "
                           "(memory to memory)")
     receivers = (1, 2, 3)
     headers = ["buffer"] + [f"{n} rcv" for n in receivers]
     rep.add("(a) small file", headers,
-            _lan_throughput(MBPS_100, small, False, receivers, BUFFERS_K))
+            _lan_throughput(grid, MBPS_100, small, False, receivers,
+                            BUFFERS_K))
     rep.add("(b) large file", headers,
-            _lan_throughput(MBPS_100, large, False, receivers, BUFFERS_K))
+            _lan_throughput(grid, MBPS_100, large, False, receivers,
+                            BUFFERS_K))
     rep.notes.append("expect: strong buffer-size dependence (stop-and-wait "
                      "at small buffers) and higher throughput for the "
                      "larger transfer (paper Fig. 12).")
     return rep
 
 
-def fig13_nak_100mbps(scale: Optional[str] = None) -> Report:
+def fig13_nak_100mbps(scale: Optional[str] = None,
+                      grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, large = file_sizes(scale)
     rep = Report("fig13", "NAK activity of H-RMC on 100 Mbps "
                           "(memory tests)")
@@ -217,8 +242,9 @@ def fig13_nak_100mbps(scale: Optional[str] = None) -> Report:
         for buf in BUFFERS_BIG_K:
             row = [f"{buf}K"]
             for n in receivers:
-                sc = build_lan(n, MBPS_100, seed=3)
-                res = run_transfer(sc, nbytes=nbytes, sndbuf=buf * 1024)
+                res = grid.run(RunSpec.lan(n, MBPS_100, seed=3,
+                                           nbytes=nbytes,
+                                           sndbuf=buf * 1024))
                 row.append(res.sender_stats.naks_rcvd)
             rows.append(row)
         rep.add(label, headers, rows)
@@ -231,7 +257,8 @@ def fig13_nak_100mbps(scale: Optional[str] = None) -> Report:
 # ---------------------------------------------------------------------------
 # Figures 14-16: the simulation study
 
-def fig14_groups(scale: Optional[str] = None) -> Report:
+def fig14_groups(scale: Optional[str] = None,
+                 grid: Optional[Grid] = None) -> Report:
     rep = Report("fig14", "Simulated characteristic groups and test cases")
     rep.add("(a) characteristic groups",
             ["Group", "Delay", "Loss Rate"],
@@ -245,15 +272,17 @@ def fig14_groups(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def _sim_study(bw: float, n_receivers: int, nbytes: int, buffers,
-               tests=(1, 2, 3, 4, 5), seed: int = 11):
+def _sim_study(grid: Grid, bw: float, n_receivers: int, nbytes: int,
+               buffers, tests=(1, 2, 3, 4, 5), seed: int = 11):
     tput_rows, rr_rows = [], []
     for buf in buffers:
         tr = [f"{buf}K"]
         rr = [f"{buf}K"]
         for t in tests:
-            sc = build_wan(expand_test_case(t, n_receivers), bw, seed=seed)
-            res = run_transfer(sc, nbytes=nbytes, sndbuf=buf * 1024)
+            res = grid.run(RunSpec.wan(test=t, receivers=n_receivers,
+                                       bandwidth_bps=bw, seed=seed,
+                                       nbytes=nbytes,
+                                       sndbuf=buf * 1024))
             tr.append(round(res.throughput_mbps, 2))
             rr.append(res.sender_stats.rate_requests_rcvd +
                       res.sender_stats.urgent_requests_rcvd)
@@ -262,18 +291,20 @@ def _sim_study(bw: float, n_receivers: int, nbytes: int, buffers,
     return tput_rows, rr_rows
 
 
-def fig15_sim_10mbps(scale: Optional[str] = None) -> Report:
+def fig15_sim_10mbps(scale: Optional[str] = None,
+                     grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small // 2
     buffers = (64, 256, 1024) if _scale(scale) == "quick" else BUFFERS_K
     rep = Report("fig15", "H-RMC performance on a 10 Mbps network "
                           "(simulated)")
     headers = ["buffer"] + [f"Test {t}" for t in (1, 2, 3, 4, 5)]
-    tput, rr = _sim_study(MBPS_10, 10, nbytes, buffers)
+    tput, rr = _sim_study(grid, MBPS_10, 10, nbytes, buffers)
     rep.add("(a) throughput, 10 receivers (Mbps)", headers, tput)
     rep.add("(b) rate reduce requests, 10 receivers", headers, rr)
     many = _many_receivers(scale)
-    tput_many, _ = _sim_study(MBPS_10, many, nbytes, buffers[-2:],
+    tput_many, _ = _sim_study(grid, MBPS_10, many, nbytes, buffers[-2:],
                               tests=(1, 2, 3))
     rep.add(f"(c) throughput, {many} receivers (Mbps, Tests 1-3)",
             ["buffer", "Test 1", "Test 2", "Test 3"], tput_many)
@@ -284,14 +315,17 @@ def fig15_sim_10mbps(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def fig16_sim_100mbps(scale: Optional[str] = None) -> Report:
+def fig16_sim_100mbps(scale: Optional[str] = None,
+                      grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small
     buffers = (64, 256, 1024) if _scale(scale) == "quick" else BUFFERS_K
     rep = Report("fig16", "H-RMC performance on a 100 Mbps network "
                           "(simulated, 10 receivers)")
     headers = ["buffer"] + [f"Test {t}" for t in (1, 2, 3)]
-    tput, rr = _sim_study(MBPS_100, 10, nbytes, buffers, tests=(1, 2, 3))
+    tput, rr = _sim_study(grid, MBPS_100, 10, nbytes, buffers,
+                          tests=(1, 2, 3))
     rep.add("(a) throughput (Mbps)", headers, tput)
     rep.add("(b) rate reduce requests", headers, rr)
     rep.notes.append("expect: same ordering as Fig. 15 with more rate "
@@ -300,16 +334,19 @@ def fig16_sim_100mbps(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def scaling_100rcv(scale: Optional[str] = None) -> Report:
+def scaling_100rcv(scale: Optional[str] = None,
+                   grid: Optional[Grid] = None) -> Report:
     """Section 5.2 claim: ~66 Mbps with 100 receivers on 100 Mbps."""
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     many = _many_receivers(scale)
     rep = Report("scaling", f"Throughput vs receiver count, 100 Mbps, "
                             f"large buffers")
     rows = []
     for n in (1, 10, many):
-        sc = build_wan(expand_test_case(1, n), MBPS_100, seed=11)
-        res = run_transfer(sc, nbytes=small, sndbuf=1024 * 1024)
+        res = grid.run(RunSpec.wan(test=1, receivers=n,
+                                   bandwidth_bps=MBPS_100, seed=11,
+                                   nbytes=small, sndbuf=1024 * 1024))
         rows.append([n, round(res.throughput_mbps, 2),
                      res.sender_stats.updates_rcvd])
     rep.add("throughput vs group size",
@@ -323,16 +360,17 @@ def scaling_100rcv(scale: Optional[str] = None) -> Report:
 # ---------------------------------------------------------------------------
 # Section 6: protocol comparison (TCP / RMC / baselines)
 
-def baselines_compare(scale: Optional[str] = None) -> Report:
+def baselines_compare(scale: Optional[str] = None,
+                      grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     rep = Report("baselines", "H-RMC vs RMC, ACK-based, polling-based "
                               "and TCP-like unicast (10 Mbps LAN, "
                               "3 receivers, 256K buffers)")
     rows = []
     for proto in ("hrmc", "rmc", "ack", "polling", "tcp"):
-        sc = build_lan(3, MBPS_10, seed=5)
-        res = run_transfer(sc, nbytes=small, protocol=proto,
-                           sndbuf=256 * 1024)
+        res = grid.run(RunSpec.lan(3, MBPS_10, seed=5, nbytes=small,
+                                   protocol=proto, sndbuf=256 * 1024))
         rows.append([proto, round(res.throughput_mbps, 2),
                      res.feedback_total, res.sender_stats.retrans_pkts,
                      "yes" if res.ok else "NO"])
@@ -348,10 +386,12 @@ def baselines_compare(scale: Optional[str] = None) -> Report:
 # ---------------------------------------------------------------------------
 # Ablations
 
-def ablation_updates(scale: Optional[str] = None) -> Report:
+def ablation_updates(scale: Optional[str] = None,
+                     grid: Optional[Grid] = None) -> Report:
     """Isolates what UPDATEs contribute: RMC-style (ungated) release
     with the member table tracked, with and without periodic updates --
     exactly the Figure 3 construction."""
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small
     rep = Report("ablation-updates", "Periodic updates on/off "
@@ -359,17 +399,18 @@ def ablation_updates(scale: Optional[str] = None) -> Report:
     rows = []
     for env, group in (("LAN", GROUP_A), ("WAN", GROUP_C)):
         for updates in (False, True):
-            sc = build_wan([group] * 10, MBPS_10, seed=7)
             # RMC-style ungated release, expressed as config so the
             # updates switch survives (the rmc entry point would force
             # updates off); 1024K buffers so data outlives one fixed
             # update period before release -- the Figure 3 setting
-            cfg = replace(HRMCConfig(), reliable_release=False,
-                          probes_enabled=False, dynamic_update_timer=False,
-                          updates_enabled=updates, track_membership=True,
-                          expected_receivers=None)
-            res = run_transfer(sc, nbytes=nbytes, protocol="hrmc", cfg=cfg,
-                               sndbuf=1024 * 1024)
+            cfg = {"reliable_release": False, "probes_enabled": False,
+                   "dynamic_update_timer": False,
+                   "updates_enabled": updates, "track_membership": True,
+                   "expected_receivers": None}
+            res = grid.run(RunSpec.wan(
+                groups=[group.name] * 10, bandwidth_bps=MBPS_10, seed=7,
+                nbytes=nbytes, protocol="hrmc", cfg=cfg,
+                sndbuf=1024 * 1024))
             rows.append([env, "on" if updates else "off",
                          round(res.release_complete_pct, 1),
                          res.sender_stats.updates_rcvd,
@@ -382,25 +423,27 @@ def ablation_updates(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def ablation_probes(scale: Optional[str] = None) -> Report:
+def ablation_probes(scale: Optional[str] = None,
+                    grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small // 2
     rep = Report("ablation-probes", "Probe-before-release on/off "
                                     "(reliability with small buffers)")
     arms = [
-        ("H-RMC (probes on)", "hrmc", HRMCConfig()),
-        ("RMC, MINBUF=10", "rmc", HRMCConfig().as_rmc()),
+        ("H-RMC (probes on)", "hrmc", {}),
+        ("RMC, MINBUF=10", "rmc", {"_rmc": True}),
         # the hazard case the MINBUF heuristic is protecting against:
         # shrink the hold time and the pure-NAK design drops data
-        ("RMC, MINBUF=1", "rmc",
-         replace(HRMCConfig().as_rmc(), minbuf_rtts=1)),
-        ("H-RMC, MINBUF=1", "hrmc", replace(HRMCConfig(), minbuf_rtts=1)),
+        ("RMC, MINBUF=1", "rmc", {"_rmc": True, "minbuf_rtts": 1}),
+        ("H-RMC, MINBUF=1", "hrmc", {"minbuf_rtts": 1}),
     ]
     rows = []
     for label, proto, cfg in arms:
-        sc = build_wan([GROUP_C] * 10, MBPS_10, seed=9)
-        res = run_transfer(sc, nbytes=nbytes, protocol=proto, cfg=cfg,
-                           sndbuf=64 * 1024, max_sim_s=120)
+        res = grid.run(RunSpec.wan(
+            groups=["C"] * 10, bandwidth_bps=MBPS_10, seed=9,
+            nbytes=nbytes, protocol=proto, cfg=cfg, sndbuf=64 * 1024,
+            max_sim_s=120))
         rows.append([label, res.reliability_violations, res.lost_bytes,
                      "yes" if res.ok else "NO",
                      round(res.throughput_mbps, 2)])
@@ -415,7 +458,9 @@ def ablation_probes(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def ablation_update_timer(scale: Optional[str] = None) -> Report:
+def ablation_update_timer(scale: Optional[str] = None,
+                          grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     # the +-1 jiffy/period drift needs ~13 s to reach the floor from the
     # 50-jiffy start, so the low-loss arm gets a long transfer (this is
@@ -425,10 +470,11 @@ def ablation_update_timer(scale: Optional[str] = None) -> Report:
     rows = []
     for env, group in (("LAN", GROUP_A), ("WAN", GROUP_C)):
         for dynamic in (False, True):
-            sc = build_wan([group] * 10, MBPS_10, seed=13)
-            cfg = replace(HRMCConfig(), dynamic_update_timer=dynamic)
-            res = run_transfer(sc, nbytes=sizes[env], cfg=cfg,
-                               sndbuf=256 * 1024, max_sim_s=600)
+            res = grid.run(RunSpec.wan(
+                groups=[group.name] * 10, bandwidth_bps=MBPS_10, seed=13,
+                nbytes=sizes[env],
+                cfg={"dynamic_update_timer": dynamic},
+                sndbuf=256 * 1024, max_sim_s=600))
             rows.append([env, "dynamic" if dynamic else "fixed",
                          res.sender_stats.probes_sent,
                          res.sender_stats.updates_rcvd,
@@ -441,7 +487,9 @@ def ablation_update_timer(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def ablation_early_probes(scale: Optional[str] = None) -> Report:
+def ablation_early_probes(scale: Optional[str] = None,
+                          grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     rep = Report("ablation-early-probes", "Future work (1): early probes "
                                           "vs stop-and-wait at small "
@@ -449,10 +497,9 @@ def ablation_early_probes(scale: Optional[str] = None) -> Report:
     rows = []
     for early in (False, True):
         for buf in (64, 128, 256):
-            sc = build_lan(2, MBPS_100, seed=5)
-            cfg = replace(HRMCConfig(), early_probes=early)
-            res = run_transfer(sc, nbytes=small, cfg=cfg,
-                               sndbuf=buf * 1024)
+            res = grid.run(RunSpec.lan(2, MBPS_100, seed=5, nbytes=small,
+                                       cfg={"early_probes": early},
+                                       sndbuf=buf * 1024))
             rows.append(["on" if early else "off", f"{buf}K",
                          round(res.throughput_mbps, 2),
                          res.sender_stats.probes_sent])
@@ -464,7 +511,9 @@ def ablation_early_probes(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def ablation_mcast_probes(scale: Optional[str] = None) -> Report:
+def ablation_mcast_probes(scale: Optional[str] = None,
+                          grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small // 2
     many = _many_receivers(scale)
@@ -472,9 +521,10 @@ def ablation_mcast_probes(scale: Optional[str] = None) -> Report:
                                           "probes above a threshold")
     rows = []
     for threshold in (None, 5):
-        sc = build_wan(expand_test_case(1, many), MBPS_10, seed=17)
-        cfg = replace(HRMCConfig(), mcast_probe_threshold=threshold)
-        res = run_transfer(sc, nbytes=nbytes, cfg=cfg, sndbuf=256 * 1024)
+        res = grid.run(RunSpec.wan(
+            test=1, receivers=many, bandwidth_bps=MBPS_10, seed=17,
+            nbytes=nbytes, cfg={"mcast_probe_threshold": threshold},
+            sndbuf=256 * 1024))
         rows.append(["unicast" if threshold is None else f">= {threshold}",
                      res.sender_stats.probes_sent,
                      round(res.throughput_mbps, 2)])
@@ -485,15 +535,18 @@ def ablation_mcast_probes(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def ablation_minbuf(scale: Optional[str] = None) -> Report:
+def ablation_minbuf(scale: Optional[str] = None,
+                    grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small // 2
     rep = Report("ablation-minbuf", "MINBUF sweep (buffer-hold heuristic)")
     rows = []
     for minbuf in (1, 2, 5, 10, 20):
-        sc = build_wan([GROUP_B] * 10, MBPS_10, seed=19)
-        cfg = replace(HRMCConfig(), minbuf_rtts=minbuf)
-        res = run_transfer(sc, nbytes=nbytes, cfg=cfg, sndbuf=256 * 1024)
+        res = grid.run(RunSpec.wan(
+            groups=["B"] * 10, bandwidth_bps=MBPS_10, seed=19,
+            nbytes=nbytes, cfg={"minbuf_rtts": minbuf},
+            sndbuf=256 * 1024))
         rows.append([minbuf, round(res.throughput_mbps, 2),
                      res.sender_stats.probes_sent,
                      res.sender_stats.naks_rcvd])
@@ -509,16 +562,19 @@ def ablation_minbuf(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def ablation_local_recovery(scale: Optional[str] = None) -> Report:
+def ablation_local_recovery(scale: Optional[str] = None,
+                            grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small // 2
     rep = Report("ablation-local-recovery", "Future work (3): local "
                                             "recovery")
     rows = []
     for local in (False, True):
-        sc = build_wan([GROUP_C] * 10, MBPS_10, seed=23)
-        cfg = replace(HRMCConfig(), local_recovery=local)
-        res = run_transfer(sc, nbytes=nbytes, cfg=cfg, sndbuf=256 * 1024)
+        res = grid.run(RunSpec.wan(
+            groups=["C"] * 10, bandwidth_bps=MBPS_10, seed=23,
+            nbytes=nbytes, cfg={"local_recovery": local},
+            sndbuf=256 * 1024))
         rows.append(["on" if local else "off",
                      res.sender_stats.naks_rcvd,
                      res.sender_stats.retrans_pkts,
@@ -534,16 +590,18 @@ def ablation_local_recovery(scale: Optional[str] = None) -> Report:
     return rep
 
 
-def ablation_fec(scale: Optional[str] = None) -> Report:
+def ablation_fec(scale: Optional[str] = None,
+                 grid: Optional[Grid] = None) -> Report:
+    grid = grid if grid is not None else Grid()
     small, _ = file_sizes(scale)
     nbytes = small // 2
     rep = Report("ablation-fec", "Future work (4): forward error "
                                  "correction")
     rows = []
     for fec in (False, True):
-        sc = build_wan([GROUP_C] * 10, MBPS_10, seed=29)
-        cfg = replace(HRMCConfig(), fec_enabled=fec)
-        res = run_transfer(sc, nbytes=nbytes, cfg=cfg, sndbuf=256 * 1024)
+        res = grid.run(RunSpec.wan(
+            groups=["C"] * 10, bandwidth_bps=MBPS_10, seed=29,
+            nbytes=nbytes, cfg={"fec_enabled": fec}, sndbuf=256 * 1024))
         rows.append(["on" if fec else "off",
                      res.sender_stats.naks_rcvd,
                      res.sender_stats.fec_pkts_sent,
@@ -565,18 +623,23 @@ def ablation_fec(scale: Optional[str] = None) -> Report:
 #: chaos runs shorten the sender's member-eviction horizon so a crashed
 #: receiver stops blocking window release within ~2 s instead of ~10 s
 def chaos_config() -> HRMCConfig:
-    return replace(HRMCConfig(), member_timeout_us=2_000_000,
-                   member_timeout_probes=4)
+    from dataclasses import replace
+    return replace(HRMCConfig(), **chaos_config_delta())
 
 
-def chaos_suite(scale: Optional[str] = None) -> Report:
+def chaos_config_delta() -> dict:
+    """The chaos tuning as a RunSpec config delta."""
+    return {"member_timeout_us": 2_000_000, "member_timeout_probes": 4}
+
+
+def chaos_suite(scale: Optional[str] = None,
+                grid: Optional[Grid] = None) -> Report:
     """Seeded random fault plans (link flaps/loss, NIC bursts and
     corruption, CPU pauses, clock trouble, receiver crashes with and
     without restart) with the protocol-invariant checker attached.
     The claim under test: every safety property holds through every
     fault, and surviving receivers always get the whole stream."""
-    from repro.obs import Observability
-
+    grid = grid if grid is not None else Grid()
     n_seeds = 12 if _scale(scale) == "full" else 6
     nbytes = 250_000
     rep = Report("chaos", "H-RMC under seeded fault injection "
@@ -584,16 +647,15 @@ def chaos_suite(scale: Optional[str] = None) -> Report:
     rows = []
     obs_tables = []
     for seed in range(1, n_seeds + 1):
-        sc = build_chaos(3, MBPS_10, seed=seed, horizon_us=1_000_000)
         # one observed run per sweep: the first seed doubles as the
         # suite's observability sample (metrics + spans in the report)
-        obs = Observability() if seed == 1 else None
-        res = run_transfer(sc, nbytes=nbytes, sndbuf=128 * 1024,
-                           cfg=chaos_config(), invariants=True,
-                           max_sim_s=120, obs=obs)
-        if obs is not None:
-            obs_tables = obs.summary_tables()
-        rows.append([seed, len(sc.fault_plan), res.fault_events,
+        res = grid.run(RunSpec.chaos(
+            3, MBPS_10, seed=seed, horizon_us=1_000_000, nbytes=nbytes,
+            sndbuf=128 * 1024, cfg=chaos_config_delta(), invariants=True,
+            max_sim_s=120, obs=(seed == 1)))
+        if res.obs_tables:
+            obs_tables = res.obs_tables
+        rows.append([seed, res.plan_actions, res.fault_events,
                      ",".join(map(str, res.crashed_receivers)) or "-",
                      ",".join(map(str, res.restarted_receivers)) or "-",
                      res.invariant_checks,
@@ -610,8 +672,9 @@ def chaos_suite(scale: Optional[str] = None) -> Report:
 
 
 # ---------------------------------------------------------------------------
+# Registry + inventory (single source of truth for docs and CLI)
 
-EXPERIMENTS: dict[str, Callable[[Optional[str]], Report]] = {
+EXPERIMENTS: dict[str, Callable[..., Report]] = {
     "table1": table1_packet_types,
     "fig3": fig3_release_info,
     "fig10": fig10_throughput_10mbps,
@@ -635,11 +698,116 @@ EXPERIMENTS: dict[str, Callable[[Optional[str]], Report]] = {
 }
 
 
-def run_experiment(exp_id: str, scale: Optional[str] = None) -> Report:
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Inventory row: what an experiment regenerates, and which bench
+    asserts its shape claims.  ``hrmc-experiments --list`` and the
+    EXPERIMENTS.md per-experiment table both render from this."""
+
+    exp_id: str
+    figure: str
+    bench: str
+
+
+INVENTORY: dict[str, ExperimentInfo] = {info.exp_id: info for info in (
+    ExperimentInfo("table1", "Table 1",
+                   "benchmarks/test_table1_packet_types.py"),
+    ExperimentInfo("fig3", "Figure 3(a,b)",
+                   "benchmarks/test_fig03_release_info.py"),
+    ExperimentInfo("fig10", "Figure 10(a–d)",
+                   "benchmarks/test_fig10_throughput_10mbps.py"),
+    ExperimentInfo("fig11", "Figure 11(a–d)",
+                   "benchmarks/test_fig11_feedback_10mbps.py"),
+    ExperimentInfo("fig12", "Figure 12(a,b)",
+                   "benchmarks/test_fig12_throughput_100mbps.py"),
+    ExperimentInfo("fig13", "Figure 13(a,b)",
+                   "benchmarks/test_fig13_nic_drops.py"),
+    ExperimentInfo("fig14", "Figure 14(a,b)",
+                   "benchmarks/test_fig14_groups.py"),
+    ExperimentInfo("fig15", "Figure 15(a–c)",
+                   "benchmarks/test_fig15_sim_10mbps.py"),
+    ExperimentInfo("fig16", "Figure 16(a,b)",
+                   "benchmarks/test_fig16_sim_100mbps.py"),
+    ExperimentInfo("scaling", "§5.2 scaling claim",
+                   "benchmarks/test_scaling_100rcv.py"),
+    ExperimentInfo("baselines", "§6 comparison",
+                   "benchmarks/test_baselines_compare.py"),
+    ExperimentInfo("ablation-updates", "§3 mechanism: updates",
+                   "benchmarks/test_ablation_updates.py"),
+    ExperimentInfo("ablation-probes",
+                   "§3 mechanism: probe-before-release",
+                   "benchmarks/test_ablation_probes.py"),
+    ExperimentInfo("ablation-update-timer",
+                   "§3 mechanism: dynamic update timer",
+                   "benchmarks/test_ablation_update_timer.py"),
+    ExperimentInfo("ablation-early-probes",
+                   "§6 future work (1): early probes",
+                   "benchmarks/test_ablation_early_probes.py"),
+    ExperimentInfo("ablation-mcast-probes",
+                   "§6 future work (2): multicast probes",
+                   "benchmarks/test_ablation_mcast_probes.py"),
+    ExperimentInfo("ablation-minbuf",
+                   "§3 MINBUF hold heuristic",
+                   "benchmarks/test_ablation_minbuf.py"),
+    ExperimentInfo("ablation-local-recovery",
+                   "§6 future work (3): local recovery",
+                   "benchmarks/test_ablation_local_recovery.py"),
+    ExperimentInfo("ablation-fec",
+                   "§6 future work (4): FEC",
+                   "benchmarks/test_ablation_fec.py"),
+    ExperimentInfo("chaos", "beyond the paper: fault injection",
+                   "tests/faults/test_chaos_battery.py"),
+)}
+
+assert set(INVENTORY) == set(EXPERIMENTS), \
+    "experiment registry and inventory diverged"
+
+
+def inventory_rows() -> list[tuple[str, str, str]]:
+    return [(i.exp_id, i.figure, i.bench) for i in INVENTORY.values()]
+
+
+def inventory_markdown() -> str:
+    """The EXPERIMENTS.md per-experiment table (kept drift-free by
+    ``tests/harness/test_experiments.py``)."""
+    lines = ["| id | regenerates | bench |", "|---|---|---|"]
+    for exp_id, figure, bench in inventory_rows():
+        lines.append(f"| `{exp_id}` | {figure} | `{bench}` |")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Execution through the fleet
+
+def plan_experiment(exp_id: str,
+                    scale: Optional[str] = None) -> list[RunSpec]:
+    """The experiment's RunSpec grid, without executing anything."""
     try:
         fn = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; "
             f"known: {', '.join(EXPERIMENTS)}") from None
-    return fn(scale)
+    grid = Grid()
+    fn(scale, grid)
+    return grid.specs
+
+
+def run_experiments(exp_ids: list[str], scale: Optional[str] = None,
+                    fleet: Optional[Fleet] = None) -> dict[str, Report]:
+    """Plan every experiment, execute the union of their grids in one
+    fleet sweep (shared cells are simulated once), then assemble each
+    report.  Reports are byte-identical regardless of worker count or
+    cache temperature."""
+    fleet = fleet if fleet is not None else Fleet()
+    specs: list[RunSpec] = []
+    for exp_id in exp_ids:
+        specs.extend(plan_experiment(exp_id, scale))
+    results = fleet.run_specs(specs)
+    return {exp_id: EXPERIMENTS[exp_id](scale, Grid(results))
+            for exp_id in exp_ids}
+
+
+def run_experiment(exp_id: str, scale: Optional[str] = None,
+                   fleet: Optional[Fleet] = None) -> Report:
+    return run_experiments([exp_id], scale, fleet)[exp_id]

@@ -218,7 +218,8 @@ class Host:
         payload_bytes = skb.payload.length if skb.payload is not None else 0
         seg_bytes = 20 + payload_bytes
         pkt = NetPacket(self.addr, dst_addr, skb, seg_bytes,
-                        born_us=self.sim.now)
+                        born_us=self.sim.now,
+                        pid=self.sim.new_packet_id())
         lineage = self.sim.lineage
         if lineage is not None:
             # a retransmission carries the lineage of the NAK that queued

@@ -99,7 +99,8 @@ class SharedLink:
         arrive = end_us + self.prop_delay_us
         for nic in self._nics:
             if nic is not sender:
-                self.sim.call_at(arrive, nic.medium_deliver, pkt.fork())
+                self.sim.call_at(arrive, nic.medium_deliver,
+                                 pkt.fork(self.sim.new_packet_id()))
 
     @property
     def utilization_bytes(self) -> int:

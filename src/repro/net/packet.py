@@ -9,15 +9,12 @@ packets within a router.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any
 
 __all__ = ["NetPacket", "IP_OVERHEAD", "LINK_OVERHEAD"]
 
 IP_OVERHEAD = 20  # IPv4 header, as in the paper's partial IP header
 LINK_OVERHEAD = 18  # Ethernet MAC header + FCS
-
-_packet_ids = itertools.count(1)
 
 
 class NetPacket:
@@ -33,12 +30,15 @@ class NetPacket:
                  "born_us", "corrupted", "cause", "blame")
 
     def __init__(self, src: str, dst: str, segment: Any, seg_bytes: int,
-                 born_us: int = 0):
+                 born_us: int = 0, pid: int = 0):
+        # ids are allocated per-Simulator (sim.new_packet_id()), never
+        # from process-global state: two runs in one worker process must
+        # produce identical packet streams
         self.src = src
         self.dst = dst
         self.segment = segment
         self.seg_bytes = int(seg_bytes)
-        self.id = next(_packet_ids)
+        self.id = pid
         self.hops = 0
         self.born_us = born_us
         self.corrupted = False   # bit errors in flight; checksum catches
@@ -53,10 +53,10 @@ class NetPacket:
     def wire_bits(self) -> int:
         return self.wire_bytes * 8
 
-    def fork(self) -> "NetPacket":
+    def fork(self, pid: int = 0) -> "NetPacket":
         """Duplicate for multicast fan-out (shares the segment)."""
         dup = NetPacket(self.src, self.dst, self.segment, self.seg_bytes,
-                        self.born_us)
+                        self.born_us, pid)
         dup.hops = self.hops
         dup.corrupted = self.corrupted
         dup.cause = self.cause

@@ -209,7 +209,7 @@ class Router:
                 return
             self.forwarded += 1
             for pipe in pipes:
-                pipe.send(pkt.fork())
+                pipe.send(pkt.fork(self.sim.new_packet_id()))
         else:
             pipe = self._unicast.get(pkt.dst, self._default)
             if pipe is None:

@@ -86,6 +86,15 @@ class Simulator:
         # that captured cause while the entry executes.  Pure
         # bookkeeping -- no events, no RNG, no reordering.
         self.lineage = None
+        # per-simulator packet-id allocator: ids restart at 1 for every
+        # run, so results never depend on what else the hosting process
+        # has simulated before (fleet workers run many jobs each)
+        self._next_packet_id = 0
+
+    def new_packet_id(self) -> int:
+        """Allocate the next :class:`~repro.net.packet.NetPacket` id."""
+        self._next_packet_id += 1
+        return self._next_packet_id
 
     @property
     def now(self) -> int:

@@ -1,0 +1,64 @@
+"""Shared schema for the repo's ``BENCH_*.json`` snapshots.
+
+Every per-PR benchmark (``BENCH_PR2.json`` engine snapshot,
+``BENCH_PR3.json`` lineage overhead, ``BENCH_PR4.json`` fleet speedup,
+...) wraps its payload with :func:`write_bench_snapshot`, so all
+snapshots carry the same envelope -- schema version, git revision,
+python version and host information -- and stay comparable across PRs
+and machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+
+__all__ = ["BENCH_SCHEMA_VERSION", "bench_environment",
+           "write_bench_snapshot"]
+
+#: bump when the envelope layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def bench_environment() -> dict:
+    """The envelope every ``BENCH_*.json`` snapshot shares."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "host": platform.node() or "unknown",
+    }
+
+
+def write_bench_snapshot(path: str, name: str, payload: dict) -> dict:
+    """Write ``payload`` wrapped in the shared envelope; returns the
+    full document (also pretty-printed to stdout by callers)."""
+    doc = {
+        "bench": name,
+        "environment": bench_environment(),
+        **payload,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

@@ -1,0 +1,119 @@
+"""Cache correctness: invalidation, corruption, resume semantics."""
+
+import json
+import os
+import shutil
+
+from repro.fleet.fingerprint import code_fingerprint
+from repro.fleet.spec import RunSpec
+from repro.fleet.store import ResultStore
+from repro.fleet.worker import execute_spec
+
+
+def _spec(seed: int = 1) -> RunSpec:
+    return RunSpec.lan(1, 10e6, seed=seed, nbytes=50_000)
+
+
+def _summary(spec: RunSpec) -> dict:
+    return execute_spec(spec.to_dict())
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path / "c"), "fp-a")
+    spec = _spec()
+    summary = _summary(spec)
+    store.put(spec, summary)
+    got = store.get(spec)
+    assert got is not None
+    assert got.to_dict() == summary
+    assert store.stats.hits == 1 and store.stats.writes == 1
+
+
+def test_fingerprint_mismatch_counts_as_invalidation(tmp_path):
+    cache = str(tmp_path / "c")
+    spec = _spec()
+    old = ResultStore(cache, "fp-old")
+    old.put(spec, _summary(spec))
+    new = ResultStore(cache, "fp-new")
+    assert new.get(spec) is None
+    assert new.stats.invalidated == 1
+    assert new.stats.misses == 0 and new.stats.corrupt == 0
+
+
+def test_fingerprint_tracks_protocol_source_edits(tmp_path):
+    """Editing anything under the protocol tree changes the
+    fingerprint; editing the fleet itself does not."""
+    import repro
+    src = os.path.dirname(repro.__file__)
+    tree = str(tmp_path / "repro")
+    shutil.copytree(src, tree)
+
+    before = code_fingerprint(tree)
+    assert before == code_fingerprint(tree)  # deterministic
+
+    with open(os.path.join(tree, "core", "config.py"), "a") as fh:
+        fh.write("\n# tweak\n")
+    after = code_fingerprint(tree)
+    assert after != before
+
+    with open(os.path.join(tree, "fleet", "store.py"), "a") as fh:
+        fh.write("\n# cache-layer tweak\n")
+    assert code_fingerprint(tree) == after
+
+
+def test_corrupt_entry_is_a_miss_with_one_line_warning(tmp_path, capsys):
+    cache = str(tmp_path / "c")
+    store = ResultStore(cache, "fp")
+    spec = _spec()
+    store.put(spec, _summary(spec))
+
+    path = store.path_for(spec.content_hash())
+    with open(path, "w") as fh:
+        fh.write('{"format": 1, "summ')  # truncated mid-write
+
+    fresh = ResultStore(cache, "fp")
+    assert fresh.get(spec) is None
+    assert fresh.stats.corrupt == 1
+    err = capsys.readouterr().err
+    lines = [ln for ln in err.splitlines() if ln]
+    assert len(lines) == 1
+    assert "corrupt entry" in lines[0] and "miss" in lines[0]
+
+
+def test_malformed_summary_is_corrupt_not_crash(tmp_path, capsys):
+    cache = str(tmp_path / "c")
+    store = ResultStore(cache, "fp")
+    spec = _spec()
+    store.put(spec, _summary(spec))
+    path = store.path_for(spec.content_hash())
+    entry = json.load(open(path))
+    del entry["summary"]["protocol"]
+    with open(path, "w") as fh:
+        json.dump(entry, fh)
+    fresh = ResultStore(cache, "fp")
+    assert fresh.get(spec) is None
+    assert fresh.stats.corrupt == 1
+    assert "corrupt entry" in capsys.readouterr().err
+
+
+def test_status_and_prune(tmp_path, capsys):
+    cache = str(tmp_path / "c")
+    cur = ResultStore(cache, "fp-now")
+    stale = ResultStore(cache, "fp-old")
+    s1, s2, s3 = _spec(1), _spec(2), _spec(3)
+    cur.put(s1, _summary(s1))
+    stale.put(s2, _summary(s2))
+    cur.put(s3, _summary(s3))
+    with open(cur.path_for(s3.content_hash()), "w") as fh:
+        fh.write("not json")
+
+    st = cur.status()
+    assert (st.entries, st.fresh, st.stale, st.corrupt) == (3, 1, 1, 1)
+    assert st.by_scenario == {"lan": 2}
+    assert st.total_bytes > 0
+
+    removed = ResultStore(cache, "fp-now").prune()
+    assert removed == 2  # the stale one and the corrupt one
+    st = ResultStore(cache, "fp-now").status()
+    assert (st.entries, st.fresh, st.stale, st.corrupt) == (1, 1, 0, 0)
+    capsys.readouterr()  # swallow the corruption warnings

@@ -4,7 +4,7 @@ import pytest
 
 from repro.harness.cli import main
 from repro.harness.experiments import (EXPERIMENTS, Report, file_sizes,
-                                       run_experiment)
+                                       run_experiment, run_experiments)
 
 
 def test_registry_covers_every_paper_artifact():
@@ -45,6 +45,32 @@ def test_cli_list(capsys):
     assert main(["--list"]) == 0
     out = capsys.readouterr().out
     assert "fig10" in out and "ablation-fec" in out
+
+
+def test_cli_list_shows_figure_and_bench(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    line = next(ln for ln in out.splitlines()
+                if ln.startswith("fig13 "))
+    assert "Figure 13(a,b)" in line
+    assert "benchmarks/test_fig13_nic_drops.py" in line
+
+
+def test_reports_identical_across_execution_modes(tmp_path):
+    """The same experiment through serial, 2-worker and warm-cache
+    fleets renders to identical bytes."""
+    from repro.fleet import Fleet
+
+    cache = str(tmp_path / "c")
+    serial = run_experiment("ablation-fec", "quick")
+    cold = run_experiments(["ablation-fec"], "quick",
+                           Fleet(workers=2, cache_dir=cache))
+    warm_fleet = Fleet(workers=1, cache_dir=cache)
+    warm = run_experiments(["ablation-fec"], "quick", warm_fleet)
+    assert serial.render() == cold["ablation-fec"].render() \
+        == warm["ablation-fec"].render()
+    assert warm_fleet.stats.cached == 2
+    assert warm_fleet.stats.executed == 0
 
 
 def test_cli_runs_experiment(capsys):
