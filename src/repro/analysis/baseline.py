@@ -1,0 +1,92 @@
+"""Committed-baseline support: legacy findings don't block, new ones do.
+
+The baseline is canonical JSON (sorted keys, two-space indent, one
+trailing newline) mapping content-addressed finding keys -- rule id,
+path and offending line *text*, see
+:func:`repro.analysis.findings.baseline_key` -- to occurrence counts.
+``--update-baseline`` regenerates it; writing the same findings twice
+produces byte-identical files, so baseline diffs in review are always
+real changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding, baseline_key
+from repro.analysis.version import RULESET_VERSION
+
+__all__ = ["Baseline", "BaselineError"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Unreadable or structurally invalid baseline file."""
+
+
+class Baseline:
+    def __init__(self, counts: dict[str, int] | None = None,
+                 ruleset: str = RULESET_VERSION) -> None:
+        self.counts: dict[str, int] = dict(counts or {})
+        self.ruleset = ruleset
+        self._remaining = dict(self.counts)
+
+    # -- IO ----------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") \
+                from exc
+        if not isinstance(data, dict) or \
+                data.get("format") != _FORMAT_VERSION or \
+                not isinstance(data.get("findings"), dict):
+            raise BaselineError(
+                f"baseline {path} is not a simlint baseline "
+                f"(format {_FORMAT_VERSION})")
+        counts = {}
+        for key, n in data["findings"].items():
+            if not isinstance(key, str) or not isinstance(n, int) or n < 1:
+                raise BaselineError(
+                    f"baseline {path}: bad entry {key!r}: {n!r}")
+            counts[key] = n
+        return cls(counts, ruleset=str(data.get("ruleset", "")))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for f in findings:
+            key = baseline_key(f)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def dump(self) -> str:
+        doc = {
+            "format": _FORMAT_VERSION,
+            "ruleset": RULESET_VERSION,
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: Path) -> None:
+        path.write_text(self.dump(), encoding="utf-8")
+
+    # -- matching ----------------------------------------------------------
+
+    def absorbs(self, finding: Finding) -> bool:
+        """True (and consumes one occurrence) if the finding is known."""
+        key = baseline_key(finding)
+        left = self._remaining.get(key, 0)
+        if left > 0:
+            self._remaining[key] = left - 1
+            return True
+        return False
+
+    def stale_keys(self) -> list[str]:
+        """Baseline entries no current finding consumed: the code got
+        fixed, the entry is removable."""
+        return sorted(k for k, n in self._remaining.items() if n > 0)

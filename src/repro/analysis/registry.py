@@ -1,0 +1,68 @@
+"""Pluggable rule registry.
+
+A rule is a class with ``id``/``title``/``hint`` metadata, an
+``applies_to(ctx)`` scope predicate (usually delegating to
+:mod:`repro.analysis.policy`) and a ``check(ctx)`` generator of
+findings.  Registration happens at import time via the
+:func:`register` decorator; :mod:`repro.analysis.rules` imports every
+rule module, so ``all_rules()`` is complete once that package loads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "rule_ids", "get_rule"]
+
+
+class Rule:
+    """Base class; subclasses override the class attributes and check()."""
+
+    id: str = ""
+    title: str = ""
+    #: one-line fix guidance attached to every finding of this rule
+    hint: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # convenience for subclasses
+    def found(self, ctx: ModuleContext, node: ast.AST,
+              message: str) -> Finding:
+        return ctx.finding(node, self.id, message, hint=self.hint)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in stable rule-id order."""
+    import repro.analysis.rules  # noqa: F401  (populates the registry)
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    import repro.analysis.rules  # noqa: F401
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401
+    return _REGISTRY[rule_id]

@@ -1,0 +1,58 @@
+"""Text and JSON reporters over an :class:`AnalysisReport`.
+
+Both formats are deterministic: findings arrive sorted from the runner
+and the JSON document uses sorted keys, so two runs over the same tree
+produce byte-identical reports (the CI artifact diff is meaningful).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import AnalysisReport
+from repro.analysis.version import RULESET_VERSION
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: AnalysisReport) -> str:
+    out: list[str] = []
+    for path, err in report.parse_errors:
+        out.append(f"{path}: PARSE parse error: {err}")
+    for finding in report.findings:
+        out.append(finding.format_text())
+    if report.stale_baseline:
+        out.append("")
+        out.append(f"stale baseline entries ({len(report.stale_baseline)}) "
+                   f"-- the code is fixed; run --update-baseline to drop:")
+        for key in report.stale_baseline:
+            out.append(f"  {key}")
+    out.append("")
+    gate = len(report.findings) + len(report.parse_errors)
+    summary = (f"simlint ({RULESET_VERSION}): {report.files_scanned} files, "
+               f"{gate} finding(s)")
+    extras = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    out.append(summary)
+    return "\n".join(out) + "\n"
+
+
+def render_json(report: AnalysisReport) -> str:
+    doc = {
+        "ruleset": RULESET_VERSION,
+        "files_scanned": report.files_scanned,
+        "findings": [f.as_dict() for f in report.findings],
+        "baselined": [f.as_dict() for f in report.baselined],
+        "suppressed": report.suppressed,
+        "stale_baseline": report.stale_baseline,
+        "parse_errors": [{"path": p, "error": e}
+                         for p, e in report.parse_errors],
+        "counts_by_rule": report.counts_by_rule(),
+        "ok": report.ok,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

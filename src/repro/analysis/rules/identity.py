@@ -1,0 +1,66 @@
+"""R5: ``id()`` / ``hash()`` values must not escape the process.
+
+``id()`` is an address: unique only for the lifetime of one object in
+one process, different on every run.  Builtin ``hash()`` of a ``str``
+depends on ``PYTHONHASHSEED``.  Either one reaching serialized output,
+a content hash, or a cache key poisons cross-run comparison -- and both
+are invisible in review because the *values* look plausible.
+
+The rule flags every ``id(...)``/``hash(...)`` call on the simulation
+path.  Legitimate in-memory uses (identity-keyed lookaside tables that
+never serialize) carry a per-line suppression whose reason documents
+exactly that confinement -- which is the audit trail we want.
+Stable-hash helpers (``hashlib.*``) never match.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+
+@register
+class IdentityEscapeRule(Rule):
+    id = "R5"
+    title = "id()/hash() value may escape into output"
+    hint = ("derive a stable name (address, sock.name, sequence "
+            "number) instead; if the value provably never leaves "
+            "process memory, suppress with the confinement as reason")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # applies everywhere; __hash__ implementations are exempted
+        # structurally below
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        exempt = self._hash_dunder_spans(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Name) and
+                    node.func.id in ("id", "hash")):
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in exempt):
+                continue
+            fn = node.func.id
+            why = ("an address" if fn == "id"
+                   else "PYTHONHASHSEED-dependent for strings")
+            yield self.found(
+                ctx, node,
+                f"'{fn}(...)' is process-local ({why}); it must never "
+                f"reach serialized or content-hashed output")
+
+    def _hash_dunder_spans(self, tree: ast.Module) -> \
+            list[tuple[int, int]]:
+        """Line spans of ``__hash__`` methods: calling ``hash()`` there
+        (delegating to a field tuple) is the normal idiom."""
+        spans = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef) and \
+                    node.name == "__hash__":
+                end = getattr(node, "end_lineno", node.lineno)
+                spans.append((node.lineno, end))
+        return spans

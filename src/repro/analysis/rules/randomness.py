@@ -1,0 +1,84 @@
+"""R2: all randomness flows through ``repro.sim.rng``.
+
+The stdlib's module-level ``random`` functions share one hidden global
+stream: any new call site perturbs every later draw, destroying paired
+A/B comparisons, and an unseeded ``random.Random()`` seeds from the OS.
+``repro.sim.rng.substream(master_seed, name)`` gives each component an
+independent, stably-seeded stream instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import policy
+from repro.analysis.astutil import ImportMap, call_name
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+
+@register
+class RandomnessRule(Rule):
+    id = "R2"
+    title = "global / unseeded randomness"
+    hint = ("draw from repro.sim.rng.substream(master_seed, component) "
+            "-- per-component seeded streams keep A/B runs paired")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not policy.rng_allowed(ctx)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        # the import itself is the finding for stdlib `random`: there is
+        # no sanctioned direct use outside repro.sim.rng
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or \
+                            alias.name.startswith("random."):
+                        yield self.found(
+                            ctx, node,
+                            "stdlib 'random' imported outside "
+                            "repro.sim.rng")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    yield self.found(
+                        ctx, node,
+                        "stdlib 'random' imported outside repro.sim.rng")
+                elif node.module in ("numpy", "numpy.random") and \
+                        not node.level:
+                    for alias in node.names:
+                        target = f"{node.module}.{alias.name}"
+                        if target.startswith("numpy.random"):
+                            yield self.found(
+                                ctx, node,
+                                "numpy global RNG imported; its state "
+                                "is process-wide")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, imports, node)
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.ctx, ast.Load):
+                resolved = imports.resolve(node)
+                if resolved is not None and \
+                        resolved.startswith("numpy.random."):
+                    yield self.found(
+                        ctx, node,
+                        f"'{resolved}' uses numpy's process-global RNG")
+
+    def _check_call(self, ctx: ModuleContext, imports: ImportMap,
+                    node: ast.Call) -> Iterator[Finding]:
+        name = call_name(node)
+        if name is None:
+            return
+        resolved = imports.resolve(node.func) or name
+        if resolved == "random.Random" and not node.args and \
+                not node.keywords:
+            yield self.found(
+                ctx, node,
+                "unseeded random.Random() seeds from the OS")
+        elif resolved in ("random.seed", "numpy.random.seed"):
+            yield self.found(
+                ctx, node,
+                f"'{resolved}' reseeds a process-global stream")

@@ -1,0 +1,154 @@
+"""R4: unordered iteration feeding ordered consumers.
+
+Python ``set`` iteration order depends on insertion history and -- for
+``str`` elements -- on ``PYTHONHASHSEED``; directory listings depend on
+the filesystem.  Either one flowing into scheduling, serialization or
+hashing makes two identical runs diverge.  (Plain ``dict`` iteration is
+*not* flagged: insertion order is a language guarantee since 3.7, and
+the codebase leans on it.)
+
+Detected, per function scope:
+
+* iterating a set display / ``set(...)`` / ``frozenset(...)`` result,
+  directly or through a simple local variable, without ``sorted()``;
+* passing such a value to an order-materialising callable
+  (``list``/``tuple``/``join``/``enumerate``);
+* iterating ``os.listdir``/``os.scandir``/``glob.glob``/
+  ``Path.iterdir``/``.glob``/``.rglob`` results without ``sorted()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import policy
+from repro.analysis.astutil import (FunctionDefLike, ImportMap, dotted_name,
+                                    walk_scoped)
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+_FS_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob",
+                       "glob.iglob"})
+_FS_METHODS = frozenset({"iterdir", "glob", "rglob"})
+_MATERIALIZERS = frozenset({"list", "tuple", "enumerate"})
+#: callables whose result does not depend on argument order -- a
+#: comprehension fed straight into one of these is safe
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set",
+    "frozenset", "dict", "collections.Counter",
+})
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "R4"
+    title = "unordered iteration in an order-sensitive path"
+    hint = ("wrap the iterable in sorted(...) with a deterministic key "
+            "(sets and directory listings have no stable order across "
+            "runs/machines)")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return policy.ordering_scoped(ctx)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(n for n in ast.walk(ctx.tree)
+                      if isinstance(n, FunctionDefLike))
+        for scope in scopes:
+            yield from self._check_scope(ctx, imports, scope)
+
+    # -- one lexical scope at a time --------------------------------------
+
+    def _check_scope(self, ctx: ModuleContext, imports: ImportMap,
+                     scope: ast.AST) -> Iterator[Finding]:
+        set_vars = self._collect_set_vars(scope)
+        exempt = self._order_insensitive_comprehensions(scope)
+        for node in walk_scoped(scope):
+            for iter_expr, what in self._iteration_sites(node):
+                if any(iter_expr is e for e in exempt):
+                    continue
+                why = self._unordered(imports, iter_expr, set_vars)
+                if why is not None:
+                    yield self.found(
+                        ctx, iter_expr,
+                        f"{what} over {why} has no stable order")
+
+    def _order_insensitive_comprehensions(self, scope: ast.AST) -> \
+            list[ast.expr]:
+        """Iter expressions of comprehensions passed *directly* to an
+        order-insensitive callable (``sorted(x for x in s)`` re-imposes
+        order; the inner set walk is harmless)."""
+        out: list[ast.expr] = []
+        for node in walk_scoped(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in _ORDER_INSENSITIVE:
+                continue
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                    ast.SetComp, ast.DictComp)):
+                    out.extend(gen.iter for gen in arg.generators)
+                else:
+                    out.append(arg)
+        return out
+
+    def _collect_set_vars(self, scope: ast.AST) -> set[str]:
+        """Local names assigned a set value somewhere in this scope
+        (single assignment target, no reassignment tracking -- simple
+        on purpose; a name ever holding a set is treated as one)."""
+        out: set[str] = set()
+        for node in walk_scoped(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                if self._is_set_expr(node.value):
+                    out.add(node.targets[0].id)
+        return out
+
+    def _iteration_sites(self, node: ast.AST) -> \
+            Iterator[tuple[ast.expr, str]]:
+        if isinstance(node, ast.For):
+            yield node.iter, "for-loop"
+        elif isinstance(node, ast.comprehension):
+            yield node.iter, "comprehension"
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _MATERIALIZERS and node.args:
+                yield node.args[0], f"{name}(...)"
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "join" and node.args:
+                yield node.args[0], "str.join"
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id in ("min", "max") and \
+                    len(node.args) == 1:
+                # min/max of a set is order-independent -- fine
+                return
+
+    def _unordered(self, imports: ImportMap, expr: ast.expr,
+                   set_vars: set[str]) -> str | None:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set display"
+        if isinstance(expr, ast.Name) and expr.id in set_vars:
+            return f"set variable '{expr.id}'"
+        if isinstance(expr, ast.Call):
+            name = imports.resolve(expr.func) or dotted_name(expr.func)
+            if name in ("set", "frozenset"):
+                return f"{name}(...)"
+            if name in _FS_CALLS:
+                return f"{name}(...) (filesystem order)"
+            if isinstance(expr.func, ast.Attribute) and \
+                    expr.func.attr in _FS_METHODS:
+                return f".{expr.func.attr}(...) (filesystem order)"
+        return None
+
+    def _is_set_expr(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            return name in ("set", "frozenset")
+        return False

@@ -1,0 +1,115 @@
+"""Drives the rules over files and folds in suppressions + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules, rule_ids
+
+__all__ = ["AnalysisReport", "analyze_paths", "analyze_source",
+           "iter_python_files"]
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    #: findings that gate (not suppressed, not baselined), sorted
+    findings: list[Finding] = field(default_factory=list)
+    #: findings absorbed by the committed baseline
+    baselined: list[Finding] = field(default_factory=list)
+    #: count of findings silenced by per-line suppressions
+    suppressed: int = 0
+    #: baseline entries whose code got fixed -- removable
+    stale_baseline: list[str] = field(default_factory=list)
+    files_scanned: int = 0
+    #: files that failed to parse, as (path, error) -- these gate too
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list
+    (sorted by posix-style path string: stable across machines)."""
+    seen: dict[str, Path] = {}
+    for p in paths:
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                seen[f.as_posix()] = f
+        elif p.suffix == ".py":
+            seen[p.as_posix()] = p
+    return [seen[k] for k in sorted(seen)]
+
+
+def analyze_source(source: str, path: str = "<string>",
+                   module: str | None = None) -> list[Finding]:
+    """Analyze one module from text; returns gating findings (after
+    per-line suppressions, no baseline).  The primary test entry point
+    and the engine behind per-file analysis."""
+    ctx = ModuleContext.from_source(source, path, module=module)
+    return _run_rules(ctx)
+
+
+def analyze_paths(paths: list[Path],
+                  baseline: Baseline | None = None) -> AnalysisReport:
+    report = AnalysisReport()
+    known = set(rule_ids()) | {"SUP"}
+    for path in iter_python_files(paths):
+        report.files_scanned += 1
+        try:
+            ctx = ModuleContext.from_source(
+                path.read_text(encoding="utf-8"), path.as_posix())
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            report.parse_errors.append((path.as_posix(), str(exc)))
+            continue
+        raw = _run_rules(ctx, known_ids=known)
+        report.suppressed += ctx.suppressed_count
+        for finding in raw:
+            if baseline is not None and baseline.absorbs(finding):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_keys()
+    report.findings.sort()
+    report.baselined.sort()
+    return report
+
+
+def _run_rules(ctx: ModuleContext,
+               known_ids: set[str] | None = None) -> list[Finding]:
+    if known_ids is None:
+        known_ids = set(rule_ids()) | {"SUP"}
+    findings: list[Finding] = list(ctx.marker_errors)
+    for supp in ctx.suppressions.values():
+        unknown = sorted(supp.rules - known_ids)
+        if unknown:
+            findings.append(Finding(
+                path=ctx.path, line=supp.comment_line, col=1, rule="SUP",
+                message=f"suppression names unknown rule(s) "
+                        f"{', '.join(unknown)}",
+                hint=f"known rules: {', '.join(sorted(known_ids))}",
+                line_text=ctx.line_text(supp.comment_line)))
+    for rule in all_rules():
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.suppressed(finding):
+                ctx.suppressed_count += 1
+                continue
+            findings.append(finding)
+    findings.sort()
+    return findings

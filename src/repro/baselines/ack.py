@@ -20,7 +20,7 @@ from typing import Optional
 from repro.baselines.common import (BaseTransport, BaselineType, FIN_FLAG,
                                     ReassemblyBuffer)
 from repro.core.rtt import RttEstimator
-from repro.core.seq import seq_add, seq_geq, seq_gt, seq_lt, seq_sub
+from repro.core.seq import seq_add, seq_geq, seq_gt, seq_sub
 from repro.kernel.host import Host
 from repro.kernel.payload import Payload
 from repro.kernel.skbuff import SKBuff

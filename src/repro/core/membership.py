@@ -194,8 +194,12 @@ class MemberTable:
                 via_hash.append(node)
                 node = node.hnext
         assert len(via_list) == self._count, "list length mismatch"
-        assert sorted(id(m) for m in via_list) == \
-            sorted(id(m) for m in via_hash), "hash/list disagree"
+        assert (
+            # simlint: ok[R5] identity comparison within one audit pass
+            sorted(id(m) for m in via_list) ==
+            # simlint: ok[R5] identity comparison within one audit pass
+            sorted(id(m) for m in via_hash)
+        ), "hash/list disagree"
         # doubly linked integrity
         for m in via_list:
             if m.prev is not None:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.seq import seq_geq, seq_gt, seq_leq, seq_lt, seq_sub
+from repro.core.seq import seq_gt, seq_lt, seq_sub
 from repro.trace.tracer import PacketTracer, TraceEvent
 
 __all__ = ["InvariantChecker", "InvariantViolation"]
@@ -94,13 +94,16 @@ class InvariantChecker:
             self._senders.remove(transport)
         if transport in self._receivers:
             self._receivers.remove(transport)
+        # simlint: ok[R5] lookaside key, confined to _last; never serialized
         self._last.pop(id(transport), None)
 
     def _install_release_hook(self, transport) -> None:
         sender = getattr(transport, "sender", None)
+        # simlint: ok[R5] hook-dedup membership test, in-memory only
         if sender is None or id(sender) in self._hooked:
             return
         sender.release_hook = self._on_release
+        # simlint: ok[R5] hook-dedup set, confined to _hooked; never serialized
         self._hooked.add(id(sender))
 
     # -- event pump ---------------------------------------------------
@@ -247,11 +250,13 @@ class InvariantChecker:
         rx = getattr(t, "rx", None)
         if rx is not None:
             self._check_reassembly(t.sock, rx.rcv_nxt, rx.rcv_wnd,
+                                   # simlint: ok[R5] _last key; in-memory only
                                    lost_bytes=0, key=id(t))
 
     def _check_hrmc_receiver(self, t, r, audit: bool) -> None:
         sock = r.sock
         self._check_reassembly(sock, r.rcv_nxt, r.rcv_wnd,
+                               # simlint: ok[R5] _last key; in-memory only
                                lost_bytes=r.lost_bytes, key=id(t))
         # +1: the FIN occupies one phantom sequence byte past the window
         span = seq_sub(r.rcv_nxt, r.rcv_wnd)

@@ -23,7 +23,8 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, wait)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional
@@ -79,7 +80,7 @@ class FleetStats:
 class _Progress:
     """One-line live counter on stderr (overwritten in place)."""
 
-    def __init__(self, enabled: bool, total: int):
+    def __init__(self, enabled: bool, total: int) -> None:
         self.enabled = enabled and total > 0
         self.total = total
         self._dirty = False
@@ -99,7 +100,7 @@ class _Progress:
             print(file=sys.stderr, flush=True)
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext:
     # fork: cheap worker start and no __main__ re-import requirement.
     # Job isolation does not depend on process hygiene -- the worker
     # rebuilds the whole world from the spec (regression-tested) -- so
@@ -123,7 +124,7 @@ class Fleet:
                  refresh: bool = False,
                  timeout_s: Optional[float] = 900.0,
                  retries: int = 2, backoff_s: float = 0.25,
-                 progress: bool = False):
+                 progress: bool = False) -> None:
         self.workers = max(1, int(workers))
         self.refresh = refresh
         self.timeout_s = timeout_s
@@ -194,13 +195,16 @@ class Fleet:
     # -- execution paths -----------------------------------------------
 
     def _record(self, spec: RunSpec, summary_dict: dict,
-                results: dict) -> None:
+                results: dict[str, RunSummary]) -> None:
         if self.store is not None:
             self.store.put(spec, summary_dict)
         results[spec.content_hash()] = RunSummary.from_dict(summary_dict)
         self.stats.executed += 1
 
-    def _run_serial(self, pending, results, errors, progress) -> None:
+    def _run_serial(self, pending: list[RunSpec],
+                    results: dict[str, RunSummary],
+                    errors: dict[str, str],
+                    progress: _Progress) -> None:
         done = len(results)
         for spec in pending:
             attempts = 0
@@ -224,14 +228,17 @@ class Fleet:
                     time.sleep(self.backoff_s * (2 ** (attempts - 1)))
             progress.update(done, 0, self.stats.cached, self.stats.failed)
 
-    def _run_pool(self, pending, results, errors, progress) -> None:
+    def _run_pool(self, pending: list[RunSpec],
+                  results: dict[str, RunSummary],
+                  errors: dict[str, str],
+                  progress: _Progress) -> None:
         ctx = _mp_context()
         pool = ProcessPoolExecutor(max_workers=self.workers,
                                    mp_context=ctx)
         attempts: dict[str, int] = {}
         # jobs whose backoff has not elapsed yet: [(ready_at, spec)]
         backlog: list[tuple[float, RunSpec]] = []
-        inflight: dict = {}
+        inflight: dict[Future, RunSpec] = {}
         queue = list(pending)
         done = len(results)
         max_pool_restarts = self.workers + 2
@@ -297,8 +304,13 @@ class Fleet:
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 
-    def _rebuild_pool(self, pool, ctx, spec, queue, inflight,
-                      max_restarts):
+    def _rebuild_pool(
+            self, pool: ProcessPoolExecutor,
+            ctx: multiprocessing.context.BaseContext, spec: RunSpec,
+            queue: list[RunSpec], inflight: dict[Future, RunSpec],
+            max_restarts: int,
+    ) -> tuple[ProcessPoolExecutor, list[RunSpec],
+               dict[Future, RunSpec]]:
         """Replace a broken pool; requeue the in-flight jobs."""
         self.stats.pool_restarts += 1
         if self.stats.pool_restarts > max_restarts:

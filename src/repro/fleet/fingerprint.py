@@ -7,6 +7,15 @@ network models, the engine -- silently invalidates every cached result,
 while touching the orchestration layer itself (``src/repro/fleet/``)
 does not, because the orchestrator never influences what a worker
 computes from a spec.
+
+The simlint rule-set version (:data:`repro.analysis.version.
+RULESET_VERSION`) is mixed into the fingerprint as well: cached results
+were produced by a tree the analyzer of that era accepted, and a rule
+change redefines what "acceptable" means, so a rule-set bump must not
+stale-serve results the current analyzer would reject.  The analyzer's
+*implementation* is excluded from the file walk for the same reason the
+fleet is -- pure analyzer refactors with an unchanged rule set cannot
+affect what a worker computes.
 """
 
 from __future__ import annotations
@@ -15,11 +24,14 @@ import hashlib
 from pathlib import Path
 from typing import Optional
 
+from repro.analysis.version import RULESET_VERSION
+
 __all__ = ["code_fingerprint"]
 
 #: subtrees that cannot affect a run's result and are excluded so that
-#: iterating on the orchestrator does not churn the cache
-_EXCLUDED_TOP_DIRS = frozenset({"fleet"})
+#: iterating on the orchestrator (or the analyzer: rule behaviour is
+#: captured by RULESET_VERSION instead) does not churn the cache
+_EXCLUDED_TOP_DIRS = frozenset({"fleet", "analysis"})
 
 _cached: Optional[str] = None
 
@@ -43,6 +55,9 @@ def code_fingerprint(root: Optional[str] = None) -> str:
         return _cached
     base = Path(root) if root is not None else _repro_root()
     h = hashlib.blake2b(digest_size=16)
+    h.update(b"ruleset:")
+    h.update(RULESET_VERSION.encode())
+    h.update(b"\x00")
     for path in sorted(base.rglob("*.py")):
         rel = path.relative_to(base)
         if rel.parts and rel.parts[0] in _EXCLUDED_TOP_DIRS:

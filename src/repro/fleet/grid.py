@@ -20,7 +20,7 @@ Figure 11) are planned once and simulated once.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional, Union
 
 from repro.fleet.spec import RunSpec
 from repro.fleet.summary import RunSummary
@@ -41,12 +41,12 @@ class _Probe(int):
     def __new__(cls) -> "_Probe":
         return super().__new__(cls, 0)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> "_Probe":
         if name.startswith("__"):
             raise AttributeError(name)
         return self
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[object]:
         return iter(())
 
 
@@ -57,7 +57,7 @@ class Grid:
     """One experiment's spec grid; see the module docstring."""
 
     def __init__(self,
-                 results: Optional[dict[str, RunSummary]] = None):
+                 results: Optional[dict[str, RunSummary]] = None) -> None:
         self.specs: list[RunSpec] = []
         self._seen: set[str] = set()
         self._results = results
@@ -66,7 +66,7 @@ class Grid:
     def planning(self) -> bool:
         return self._results is None
 
-    def run(self, spec: RunSpec):
+    def run(self, spec: RunSpec) -> Union[RunSummary, _Probe]:
         """Register ``spec``; return its summary (or the probe)."""
         h = spec.content_hash()
         if h not in self._seen:

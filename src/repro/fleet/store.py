@@ -17,7 +17,7 @@ import os
 import sys
 import tempfile
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.fleet.spec import RunSpec
 from repro.fleet.summary import RunSummary
@@ -62,7 +62,7 @@ class StoreStatus:
 class ResultStore:
     """Cache of :class:`RunSummary` results keyed by spec hash."""
 
-    def __init__(self, cache_dir: str, fingerprint: str):
+    def __init__(self, cache_dir: str, fingerprint: str) -> None:
         self.cache_dir = cache_dir
         self.fingerprint = fingerprint
         self.stats = StoreStats()
@@ -142,7 +142,7 @@ class ResultStore:
 
     # -- maintenance ---------------------------------------------------
 
-    def _entry_paths(self):
+    def _entry_paths(self) -> Iterator[str]:
         if not os.path.isdir(self.cache_dir):
             return
         for shard in sorted(os.listdir(self.cache_dir)):

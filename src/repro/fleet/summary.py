@@ -13,7 +13,7 @@ representation and byte-identical aggregates fall out for free.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.stats.metrics import Counters
 
@@ -74,7 +74,7 @@ class RunSummary:
             raise ValueError(f"malformed run summary: {exc}") from None
 
 
-def summarize_result(result, *, plan_actions: int = 0,
+def summarize_result(result: Any, *, plan_actions: int = 0,
                      obs_tables: Optional[list] = None) -> RunSummary:
     """Project a :class:`TransferResult` onto the wire format."""
     return RunSummary(

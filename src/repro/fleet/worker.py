@@ -14,10 +14,11 @@ from __future__ import annotations
 import json
 import signal
 from dataclasses import replace
-from typing import Optional, Union
+from types import FrameType
+from typing import Any, Optional, Union
 
 from repro.fleet.spec import RunSpec
-from repro.fleet.summary import summarize_result
+from repro.fleet.summary import RunSummary, summarize_result
 
 __all__ = ["execute_spec", "run_spec", "JobTimeout"]
 
@@ -26,7 +27,7 @@ class JobTimeout(Exception):
     """A job exceeded its per-run wall-clock budget."""
 
 
-def _build_scenario(spec: RunSpec):
+def _build_scenario(spec: RunSpec) -> Any:
     from repro.workloads.groups import GROUP_A, GROUP_B, GROUP_C, \
         expand_test_case
     from repro.workloads.scenarios import build_chaos, build_lan, build_wan
@@ -52,7 +53,7 @@ def _build_scenario(spec: RunSpec):
     raise ValueError(f"unknown scenario {spec.scenario!r}")
 
 
-def _build_config(spec: RunSpec):
+def _build_config(spec: RunSpec) -> Any:
     from repro.core.config import HRMCConfig
 
     if not spec.cfg:
@@ -68,7 +69,7 @@ def _build_config(spec: RunSpec):
                          f"{exc}") from None
 
 
-def run_spec(spec: RunSpec):
+def run_spec(spec: RunSpec) -> RunSummary:
     """Execute one spec and return the :class:`RunSummary` (objects,
     not wire format); the world is built from the spec alone."""
     from repro.harness.runner import run_transfer
@@ -101,7 +102,7 @@ def execute_spec(spec_dict: dict,
     use_alarm = (timeout_s is not None and hasattr(signal, "SIGALRM"))
     old_handler: Union[None, int, object] = None
     if use_alarm:
-        def _expired(signum, frame):
+        def _expired(signum: int, frame: Optional[FrameType]) -> None:
             raise JobTimeout(f"job exceeded {timeout_s:g}s wall clock: "
                              f"{spec.describe()}")
         try:

@@ -28,8 +28,7 @@ from repro.fleet.executor import Fleet
 from repro.fleet.grid import Grid
 from repro.fleet.spec import RunSpec
 from repro.stats.report import format_table
-from repro.workloads.groups import (GROUP_A, GROUP_B, GROUP_C, TEST_CASES,
-                                    expand_test_case)
+from repro.workloads.groups import GROUP_A, GROUP_B, GROUP_C, TEST_CASES
 
 __all__ = ["Report", "EXPERIMENTS", "INVENTORY", "ExperimentInfo",
            "run_experiment", "run_experiments", "plan_experiment",

@@ -23,7 +23,6 @@ from repro.core.protocol import open_hrmc_socket
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import FaultPlan
-from repro.kernel.payload import PatternPayload
 from repro.kernel.socket_api import Socket
 from repro.obs.observer import Observability
 from repro.rmc import open_rmc_socket

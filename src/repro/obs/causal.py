@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import json
 from collections import OrderedDict, deque
-from typing import Iterable, Optional
+from typing import Optional
 
 __all__ = ["CauseNode", "LineageRecorder", "load_lineage", "walk_chain"]
 

@@ -23,7 +23,7 @@ reports for facilities, and are exercised by the unit tests.
 from __future__ import annotations
 
 from collections import deque
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.sim.engine import Simulator
 from repro.sim.process import SimEvent

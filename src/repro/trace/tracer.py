@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import asdict, dataclass
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
 from repro.core.types import PacketType
 from repro.kernel.host import Host

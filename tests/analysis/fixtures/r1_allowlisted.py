@@ -1,0 +1,7 @@
+# simlint: module=repro.harness.fixture_r1_allowlisted
+"""R1 negative: the harness carve-out may read the host clock."""
+import time
+
+
+def progress_line(done, total):
+    return f"[{time.time():.0f}] {done}/{total}"

@@ -1,0 +1,12 @@
+# simlint: module=repro.core.fixture_r1_bad
+"""R1 positive: wall-clock reads in a protocol-path module."""
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_event(trace):
+    t0 = time.time()  # expect: R1
+    started = datetime.now()  # expect: R1
+    trace.append(perf_counter())  # expect: R1
+    return t0, started, time.perf_counter_ns()  # expect: R1

@@ -1,0 +1,7 @@
+# simlint: module=repro.core.fixture_r1_good
+"""R1 negative: simulated time only; the harness carve-out also shown."""
+
+
+def stamp_event(sim, trace):
+    trace.append(sim.now())
+    return sim.now_seconds()

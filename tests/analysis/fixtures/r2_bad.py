@@ -1,0 +1,10 @@
+# simlint: module=repro.net.fixture_r2_bad
+"""R2 positive: global / unseeded randomness."""
+import random  # expect: R2
+import numpy as np
+
+
+def jitter(us):
+    random.seed(42)  # expect: R2
+    rng = random.Random()  # expect: R2
+    return rng.random() * us + np.random.poisson(us)  # expect: R2

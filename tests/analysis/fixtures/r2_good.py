@@ -1,0 +1,8 @@
+# simlint: module=repro.net.fixture_r2_good
+"""R2 negative: randomness through the seeded substream registry."""
+from repro.sim.rng import substream
+
+
+def jitter(master_seed, us):
+    rng = substream(master_seed, "nic.jitter")
+    return rng.random() * us

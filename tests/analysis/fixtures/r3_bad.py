@@ -1,0 +1,11 @@
+# simlint: module=repro.net.fixture_r3_bad
+"""R3 positive: the PR 4 packet-id-counter bug class."""
+_pending = []  # expect: R3
+_seen_ids = {}  # expect: R3
+_next_packet_id = 0
+
+
+def alloc_packet_id():
+    global _next_packet_id  # expect: R3
+    _next_packet_id += 1
+    return _next_packet_id

@@ -1,0 +1,21 @@
+# simlint: module=repro.net.fixture_r3_good
+"""R3 negative: per-run state hangs off a per-run object; module level
+holds only immutable constants."""
+
+IP_OVERHEAD = 20
+FLAG_NAMES = ("URG", "FIN")
+VALID_TYPES = frozenset({1, 2, 3})
+
+__all__ = ["Allocator", "IP_OVERHEAD"]
+
+
+class Allocator:
+    def __init__(self, sim):
+        self.sim = sim
+        self._next = 0
+        self._issued = []
+
+    def alloc(self):
+        self._next += 1
+        self._issued.append(self._next)
+        return self._next

@@ -1,0 +1,17 @@
+# simlint: module=repro.core.fixture_r4_bad
+"""R4 positive: unordered iteration into order-sensitive paths."""
+import os
+
+
+def schedule(hosts):
+    order = []
+    for h in {"a", "b", "c"}:  # expect: R4
+        order.append(h)
+    pending = set(hosts)
+    for h in pending:  # expect: R4
+        order.append(h)
+    return ",".join(set(hosts))  # expect: R4
+
+
+def config_files(path):
+    return [f for f in os.listdir(path)]  # expect: R4

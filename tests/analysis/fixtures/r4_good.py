@@ -1,0 +1,21 @@
+# simlint: module=repro.core.fixture_r4_good
+"""R4 negative: sorted() everywhere order can leak; dict iteration is
+insertion-ordered and deliberately not flagged."""
+import os
+
+
+def schedule(hosts, table):
+    order = []
+    for h in sorted({"a", "b", "c"}):
+        order.append(h)
+    pending = set(hosts)
+    for h in sorted(pending):
+        order.append(h)
+    for key, value in table.items():
+        order.append((key, value))
+    lowest = min(set(hosts))
+    return ",".join(sorted(set(hosts))), lowest
+
+
+def config_files(path):
+    return sorted(f for f in os.listdir(path))

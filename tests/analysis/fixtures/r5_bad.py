@@ -1,0 +1,9 @@
+# simlint: module=repro.obs.fixture_r5_bad
+"""R5 positive: id()/hash() values headed for serialized output."""
+import json
+
+
+def export_components(components):
+    table = {id(c): c.state for c in components}  # expect: R5
+    key = hash("component-name")  # expect: R5
+    return json.dumps({"key": key, "table": list(table.values())})

@@ -1,0 +1,19 @@
+# simlint: module=repro.obs.fixture_r5_good
+"""R5 negative: stable names, hashlib for content, __hash__ dunders."""
+import hashlib
+import json
+
+
+class Endpoint:
+    def __init__(self, addr, port):
+        self.addr = addr
+        self.port = port
+
+    def __hash__(self):
+        return hash((self.addr, self.port))
+
+
+def export_components(components):
+    table = {c.name: c.state for c in components}
+    digest = hashlib.blake2b(b"component-name", digest_size=8).hexdigest()
+    return json.dumps({"key": digest, "table": table})

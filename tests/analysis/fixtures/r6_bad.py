@@ -1,0 +1,18 @@
+# simlint: module=repro.apps.fixture_r6_bad
+"""R6 positive: bare generator call + non-awaitable yields."""
+import time
+
+from repro.sim.process import Delay
+
+
+def writer_app(disk, blocks):
+    yield Delay(100)
+    yield 5  # expect: R6
+    yield  # expect: R6
+    yield time.sleep(0.1)  # expect: R6
+    for b in blocks:
+        disk.write(b)
+
+
+def run_transfer(sim, disk):
+    writer_app(disk, 3)  # expect: R6

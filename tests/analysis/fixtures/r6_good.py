@@ -1,0 +1,30 @@
+# simlint: module=repro.apps.fixture_r6_good
+"""R6 negative: processes scheduled through the engine, sim awaitables
+only, plain utility generators untouched."""
+from repro.sim.process import Delay, Process, SimEvent
+
+
+def writer_app(sim, disk, blocks, done):
+    for b in blocks:
+        yield Delay(100)
+        disk.write(b)
+    yield from flusher_app(sim, disk)
+    value = yield done
+    return value
+
+
+def flusher_app(sim, disk):
+    yield Delay(10)
+    disk.flush()
+
+
+def run_transfer(sim, disk):
+    done = SimEvent(sim, name="done")
+    proc = Process(sim, writer_app(sim, disk, [b"x"], done), name="writer")
+    return proc
+
+
+def chunk_pairs(chunks):
+    # ordinary utility generator: yield whatever it likes
+    for i, c in enumerate(chunks):
+        yield i, c

@@ -1,0 +1,11 @@
+# simlint: module=repro.core.fixture_r7_bad
+"""R7 positive: fork/signal machinery outside repro.fleet."""
+import os
+import signal  # expect: R7
+import subprocess  # expect: R7
+
+
+def watchdog(pid, child_argv):
+    signal.alarm(5)  # expect: R7
+    os.kill(pid, 0)  # expect: R7
+    return subprocess.run(child_argv)

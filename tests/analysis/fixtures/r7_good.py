@@ -1,0 +1,16 @@
+# simlint: module=repro.fleet.worker
+"""R7 negative: the fleet worker owns the SIGALRM timeout machinery."""
+import signal
+
+
+def with_timeout(fn, timeout_s):
+    def _expired(signum, frame):
+        raise TimeoutError
+
+    old = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)

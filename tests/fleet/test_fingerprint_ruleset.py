@@ -1,0 +1,51 @@
+"""The simlint rule-set version is a protocol-code-fingerprint input.
+
+Cached fleet results were computed from a tree the analyzer of that era
+accepted.  A rule-set bump redefines acceptability, so it must
+invalidate the cache (no stale-serving of results the current rules
+would reject) -- while pure analyzer refactors, like fleet-layer edits,
+must NOT churn it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import repro
+from repro.analysis.version import RULESET_VERSION
+from repro.fleet import fingerprint as fp_mod
+from repro.fleet.fingerprint import code_fingerprint
+
+
+def _copy_tree(tmp_path) -> str:
+    tree = str(tmp_path / "repro")
+    shutil.copytree(os.path.dirname(repro.__file__), tree)
+    return tree
+
+
+def test_ruleset_version_is_a_fingerprint_input(tmp_path, monkeypatch):
+    tree = _copy_tree(tmp_path)
+    before = code_fingerprint(tree)
+    monkeypatch.setattr(fp_mod, "RULESET_VERSION",
+                        RULESET_VERSION + ".bumped")
+    assert code_fingerprint(tree) != before
+    monkeypatch.setattr(fp_mod, "RULESET_VERSION", RULESET_VERSION)
+    assert code_fingerprint(tree) == before  # and it round-trips
+
+
+def test_analyzer_internal_edits_do_not_churn_the_cache(tmp_path):
+    tree = _copy_tree(tmp_path)
+    before = code_fingerprint(tree)
+    with open(os.path.join(tree, "analysis", "runner.py"), "a") as fh:
+        fh.write("\n# analyzer refactor, same rule set\n")
+    assert code_fingerprint(tree) == before
+
+
+def test_protocol_edits_still_dominate(tmp_path):
+    """Sanity: the ruleset input did not weaken source tracking."""
+    tree = _copy_tree(tmp_path)
+    before = code_fingerprint(tree)
+    with open(os.path.join(tree, "net", "packet.py"), "a") as fh:
+        fh.write("\n# protocol tweak\n")
+    assert code_fingerprint(tree) != before
