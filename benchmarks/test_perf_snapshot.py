@@ -57,15 +57,15 @@ def test_perf_snapshot():
         },
         "sim_events": res.sim_events,
         "wall_s": round(wall_s, 3),
-        "engine_events_per_s": round(engine_eps),
-        "engine_events_per_s_in_callbacks":
+        "events_per_s_in_callbacks":
             round(obs.profiler.events_per_sec()),
         "delivered_bytes_per_wall_s": round(delivered / wall_s),
         "sim_throughput_mbps": round(res.throughput_mbps, 2),
         "sim_duration_s": round(res.duration_us / 1e6, 3),
         "peak_rss_kb": _peak_rss_kb(),
     }
-    doc = write_bench_snapshot(BENCH_PATH, "engine-snapshot", snapshot)
+    doc = write_bench_snapshot(BENCH_PATH, "engine-snapshot", snapshot,
+                               events_per_s=engine_eps)
     print()
     print(json.dumps(doc, indent=2, sort_keys=True))
 

@@ -28,7 +28,7 @@ import time
 
 from repro.fleet import Fleet
 from repro.harness.experiments import EXPERIMENTS, run_experiments
-from repro.stats.bench import write_bench_snapshot
+from repro.stats.bench import measure_events_per_s, write_bench_snapshot
 
 BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
                           "BENCH_PR4.json")
@@ -75,7 +75,12 @@ def test_perf_snapshot_fleet():
         "warm_store": warm_store,
         "reports_identical": serial == cold == warm,
     }
-    doc = write_bench_snapshot(BENCH_PATH, "fleet-speedup", snapshot)
+    # the sweep measures fleet mechanics, not engine throughput: the
+    # canonical trajectory metric comes from one pinned-scenario run
+    pinned = measure_events_per_s()
+    snapshot["pinned_scenario_run"] = pinned
+    doc = write_bench_snapshot(BENCH_PATH, "fleet-speedup", snapshot,
+                               events_per_s=pinned["events_per_s"])
     print()
     print(json.dumps(doc, indent=2, sort_keys=True))
 

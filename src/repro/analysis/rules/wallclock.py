@@ -17,7 +17,11 @@ from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, register
 
-#: fully-qualified callables that read the host clock
+#: fully-qualified callables that read the host clock -- including the
+#: process-level measurement machinery (tracemalloc, gc control): heap
+#: and collector state vary with the hosting machine exactly like a
+#: clock read, so they are fenced to the same boundary modules (the
+#: perf observatory, repro.obs.perf)
 WALLCLOCK_CALLS = frozenset({
     "time.time", "time.time_ns",
     "time.monotonic", "time.monotonic_ns",
@@ -26,6 +30,11 @@ WALLCLOCK_CALLS = frozenset({
     "time.clock_gettime", "time.clock_gettime_ns",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
+    "tracemalloc.start", "tracemalloc.stop",
+    "tracemalloc.take_snapshot", "tracemalloc.get_traced_memory",
+    "tracemalloc.reset_peak", "tracemalloc.is_tracing",
+    "gc.collect", "gc.enable", "gc.disable", "gc.freeze",
+    "gc.set_threshold", "gc.set_debug",
 })
 
 

@@ -18,4 +18,6 @@ from __future__ import annotations
 __all__ = ["RULESET_VERSION"]
 
 #: bump on any observable rule-behaviour change (see module docstring)
-RULESET_VERSION = "simlint-1"
+#: simlint-2: R1 also flags tracemalloc/gc measurement calls, and the
+#: wall-clock allowlist gained the repro.obs.perf boundary
+RULESET_VERSION = "simlint-2"

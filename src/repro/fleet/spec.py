@@ -57,6 +57,7 @@ class RunSpec:
     max_sim_s: float = 3600.0
     invariants: bool = False
     obs: bool = False          # collect observability summary tables
+    perf: bool = False         # collect per-job event-class perf payload
     tag: str = ""              # human label (part of the identity)
 
     def __post_init__(self) -> None:

@@ -48,6 +48,10 @@ class RunSummary:
     surviving_ok: bool = True
     # observability sample (list of (title, headers, rows) tables)
     obs_tables: list = field(default_factory=list)
+    # per-job perf payload (repro.obs.perf bench_payload(); only when
+    # the spec asked for it -- carries wall-clock numbers, so it is the
+    # one part of a summary that varies between executions)
+    perf: dict = field(default_factory=dict)
 
     @property
     def throughput_mbps(self) -> float:
@@ -75,7 +79,8 @@ class RunSummary:
 
 
 def summarize_result(result: Any, *, plan_actions: int = 0,
-                     obs_tables: Optional[list] = None) -> RunSummary:
+                     obs_tables: Optional[list] = None,
+                     perf: Optional[dict] = None) -> RunSummary:
     """Project a :class:`TransferResult` onto the wire format."""
     return RunSummary(
         protocol=result.protocol, nbytes=result.nbytes,
@@ -98,4 +103,5 @@ def summarize_result(result: Any, *, plan_actions: int = 0,
         invariant_checks=result.invariant_checks,
         surviving_ok=result.surviving_ok,
         obs_tables=list(obs_tables) if obs_tables else [],
+        perf=dict(perf) if perf else {},
     )

@@ -16,6 +16,9 @@ Usage::
     hrmc-experiments report wan --from out/
     hrmc-experiments why wan --seq 58401 --seed 21
     hrmc-experiments diff out/runA out/runB
+    hrmc-experiments perf profile lan --html --alloc
+    hrmc-experiments perf compare BENCH_PR2.json perf-artifacts/fresh.json
+    hrmc-experiments perf history
 
 (or ``python -m repro.harness.cli``).  Experiment runs go through the
 fleet (:mod:`repro.fleet`): specs are planned, served from the
@@ -51,6 +54,12 @@ Subcommands:
 * ``diff RUN_A RUN_B`` aligns two artifact directories and reports the
   first causally significant divergence.  Exit status: 0 = runs align,
   1 = diverged, 2 = unusable input.
+* ``perf profile lan|wan|chaos`` runs one transfer under the hot-path
+  performance observatory (:mod:`repro.obs.perf`): event-class tax
+  table, collapsed-stack flamegraph, optional allocation tracking.
+  ``perf compare OLD NEW`` gates a candidate snapshot against a
+  baseline (exit 0 = within thresholds, 1 = regressed, 2 = unusable);
+  ``perf history`` renders the longitudinal ``BENCH_HISTORY.jsonl``.
 """
 
 from __future__ import annotations
@@ -169,6 +178,9 @@ def _scenario_args(parser: argparse.ArgumentParser) -> None:
                         metavar="MBPS", help="link bandwidth in Mbit/s")
     parser.add_argument("--protocol", default="hrmc",
                         help="protocol to run (default hrmc)")
+    parser.add_argument("--sndbuf", type=int, default=None, metavar="BYTES",
+                        help="socket send-buffer size (default: the "
+                             "runner's; chaos pins 128K)")
     parser.add_argument("--wan-test", type=int, default=2, metavar="N",
                         help="characteristic-group test case for wan")
 
@@ -191,6 +203,8 @@ def _build_scenario(args):
         from repro.harness.experiments import chaos_config
         kwargs = {"cfg": chaos_config(), "invariants": True,
                   "sndbuf": 128 * 1024}
+    if getattr(args, "sndbuf", None):
+        kwargs["sndbuf"] = args.sndbuf
     return scenario, kwargs
 
 
@@ -434,6 +448,181 @@ def _run_why(argv) -> int:
     return 0 if result.ok else 1
 
 
+# -- perf subcommand family ---------------------------------------------
+
+def _run_perf_profile(argv) -> int:
+    """``perf profile lan|wan|chaos``: one transfer under the hot-path
+    performance observatory (repro.obs.perf)."""
+    from repro.harness.runner import run_transfer
+    from repro.obs import Observability
+    from repro.obs.perf import PerfObservatory
+    from repro.stats.report import format_table
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments perf profile",
+        description="Run one transfer under the performance "
+                    "observatory: event-class tax table, collapsed-"
+                    "stack flamegraph, optional allocation/GC "
+                    "tracking.")
+    _scenario_args(parser)
+    parser.add_argument("--out", metavar="DIR", default="perf-artifacts",
+                        help="artifact directory (default perf-artifacts)")
+    parser.add_argument("--sample-every", type=int, default=16, metavar="N",
+                        help="flamegraph-sample every Nth engine event "
+                             "(0 disables stack sampling; default 16)")
+    parser.add_argument("--alloc", action="store_true",
+                        help="also track allocations and GC pauses "
+                             "(tracemalloc; slows the run)")
+    parser.add_argument("--html", action="store_true",
+                        help="also write the self-contained HTML report "
+                             "with the flamegraph inline")
+    parser.add_argument("--bench-out", metavar="FILE", default=None,
+                        help="also write a schema-v2 bench snapshot "
+                             "(appends to BENCH_HISTORY.jsonl beside it)")
+    args = parser.parse_args(argv)
+    if args.sample_every < 0:
+        print("--sample-every must be >= 0", file=sys.stderr)
+        return 2
+
+    perf = PerfObservatory(sample_every=args.sample_every,
+                           alloc=args.alloc)
+    obs = Observability(perf=perf, lineage=args.html)
+    tracer = None
+    if args.html:
+        from repro.trace.tracer import PacketTracer
+        tracer = PacketTracer()
+    scenario, kwargs = _build_scenario(args)
+    wall_t0 = time.perf_counter()
+    result = run_transfer(scenario, nbytes=args.nbytes,
+                          protocol=args.protocol, obs=obs,
+                          max_sim_s=300, tracer=tracer, **kwargs)
+    wall_s = time.perf_counter() - wall_t0
+
+    events_per_s = result.sim_events / wall_s if wall_s > 0 else 0.0
+    print(f"{args.scenario} x{args.receivers} {args.protocol} "
+          f"{args.nbytes} bytes: ok={result.ok} "
+          f"sim_events={result.sim_events} wall={wall_s:.3f}s "
+          f"events/s={events_per_s:.0f}\n")
+    for title, headers, rows in perf.summary_tables():
+        print(format_table(title, headers, rows))
+        print()
+
+    try:
+        paths = obs.write_artifacts(args.out, prefix=args.scenario,
+                                    html=args.html)
+    except OSError as exc:
+        print(f"cannot write artifacts to {args.out!r}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 2
+    if args.bench_out:
+        from repro.stats.bench import write_bench_snapshot
+        payload = {
+            "scenario": {"kind": args.scenario,
+                         "receivers": args.receivers,
+                         "seed": args.seed, "nbytes": args.nbytes,
+                         "bandwidth_bps": args.bandwidth * 1e6},
+            "sim_events": result.sim_events,
+            "wall_s": round(wall_s, 3),
+            "perf": perf.bench_payload(),
+        }
+        try:
+            write_bench_snapshot(args.bench_out, "perf-profile", payload,
+                                 events_per_s=events_per_s)
+        except OSError as exc:
+            print(f"cannot write {args.bench_out!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        paths["bench"] = args.bench_out
+    for name, path in paths.items():
+        print(f"wrote {name}: {path}")
+    return 0 if result.ok else 1
+
+
+def _run_perf_compare(argv) -> int:
+    """``perf compare OLD NEW``: trajectory regression gate.
+
+    Exit status: 0 = within thresholds, 1 = regressed, 2 = unusable.
+    """
+    from repro.stats.report import format_table
+    from repro.stats.trajectory import compare
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments perf compare",
+        description="Compare two BENCH_*.json snapshots against the "
+                    "events/s regression threshold.")
+    parser.add_argument("old", help="baseline bench snapshot")
+    parser.add_argument("new", help="candidate bench snapshot")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        metavar="FRAC",
+                        help="tolerated fractional events/s drop "
+                             "(default 0.15)")
+    args = parser.parse_args(argv)
+    if not 0 <= args.threshold < 1:
+        print("--threshold must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    try:
+        verdict = compare(args.old, args.new,
+                          {"events_per_s": args.threshold})
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_table(f"{args.old} -> {args.new}",
+                       ["metric", "old", "new", "ratio", "gate",
+                        "verdict"], verdict.rows()))
+    if not verdict.usable:
+        print("no comparable metric present in both snapshots",
+              file=sys.stderr)
+        return 2
+    return 1 if verdict.regressed else 0
+
+
+def _run_perf_history(argv) -> int:
+    """``perf history``: render the longitudinal BENCH_HISTORY.jsonl."""
+    from repro.stats.report import format_table
+    from repro.stats.trajectory import history_rows
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments perf history",
+        description="Show the bench trajectory appended by every "
+                    "snapshot regeneration.")
+    parser.add_argument("--file", metavar="PATH",
+                        default="BENCH_HISTORY.jsonl",
+                        help="history log (default BENCH_HISTORY.jsonl)")
+    parser.add_argument("--bench", metavar="NAME", default=None,
+                        help="only rows of this bench name")
+    args = parser.parse_args(argv)
+
+    try:
+        rows = history_rows(args.file)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.bench:
+        rows = [r for r in rows if r.get("bench") == args.bench]
+    table = [[r.get("date", "?"), r.get("bench", "?"),
+              r.get("git_rev", "?"), r.get("events_per_s", "?"),
+              r.get("python", "?"), r.get("host", "?")]
+             for r in rows]
+    print(format_table(f"bench trajectory ({args.file})",
+                       ["date", "bench", "rev", "events/s", "python",
+                        "host"], table))
+    return 0
+
+
+def _run_perf(argv) -> int:
+    """Dispatch the ``perf`` subcommand family."""
+    if argv and argv[0] == "profile":
+        return _run_perf_profile(argv[1:])
+    if argv and argv[0] == "compare":
+        return _run_perf_compare(argv[1:])
+    if argv and argv[0] == "history":
+        return _run_perf_history(argv[1:])
+    print("usage: hrmc-experiments perf {profile,compare,history} ...",
+          file=sys.stderr)
+    return 2
+
+
 # -- diff subcommand ----------------------------------------------------
 
 def _run_diff(argv) -> int:
@@ -471,6 +660,8 @@ def main(argv=None) -> int:
         return _run_diff(argv[1:])
     if argv and argv[0] == "fleet":
         return _run_fleet(argv[1:])
+    if argv and argv[0] == "perf":
+        return _run_perf(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hrmc-experiments",
         description="Regenerate the tables and figures of the H-RMC "

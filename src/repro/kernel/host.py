@@ -145,13 +145,15 @@ class Host:
 
     # -- CPU ------------------------------------------------------------
 
-    def cpu_run(self, cost_us: int, fn: Callable[[], None]) -> None:
-        """Run ``fn`` after ``cost_us`` of CPU time, serialized with all
-        other work on this host."""
+    def cpu_run(self, cost_us: int, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` after ``cost_us`` of CPU time, serialized
+        with all other work on this host.  Arguments ride the engine
+        entry itself so per-packet hot paths need no closure
+        allocation."""
         start = max(self.sim.now, self._cpu_busy_until)
         end = start + max(0, int(cost_us))
         self._cpu_busy_until = end
-        self.sim.call_at(end, fn)
+        self.sim.call_at(end, fn, *args)
 
     def cpu_exec(self, cost_us: int) -> Generator:
         """``yield from host.cpu_exec(c)`` inside an application process
@@ -235,7 +237,7 @@ class Host:
         if self.tap is not None:
             self.tap("tx", skb, dst_addr, self.sim.now)
         self._pending_xmit += 1
-        self.cpu_run(self.cost.tx_cost(seg_bytes), lambda: self._xmit(pkt))
+        self.cpu_run(self.cost.tx_cost(seg_bytes), self._xmit, pkt)
 
     def _xmit(self, pkt: NetPacket) -> None:
         self._pending_xmit -= 1

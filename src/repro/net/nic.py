@@ -85,7 +85,7 @@ class NetworkInterface:
         # set by the owning Host
         self.rx_handler: Optional[Callable[[NetPacket], None]] = None
         self.rx_cost_fn: Optional[Callable[[NetPacket], int]] = None
-        self.cpu_run: Optional[Callable[[int, Callable[[], None]], None]] = None
+        self.cpu_run: Optional[Callable[..., None]] = None
         # counters
         self.tx_packets = 0
         self.rx_packets = 0
@@ -268,7 +268,7 @@ class NetworkInterface:
             return  # ring torn down (power_off) while waiting for rx_delay
         cost = self.rx_cost_fn(pkt) if self.rx_cost_fn else 0
         if self.cpu_run is not None:
-            self.cpu_run(cost, lambda p=pkt: self._rx_done(p))
+            self.cpu_run(cost, self._rx_done, pkt)
         else:
             self.sim.call_after(cost, self._rx_done, pkt)
 

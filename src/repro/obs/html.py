@@ -114,6 +114,22 @@ def render_report(obs, *, title: str = "H-RMC run report",
         out.extend(spark_rows)
         out.append("</table>")
 
+    # -- flamegraph (repro.obs.perf) -----------------------------------
+    # the tax table and alloc tables already arrived via
+    # obs.summary_tables(); the flamegraph needs its own inline SVG
+    perf = getattr(obs, "perf", None)
+    if perf is not None:
+        svg = perf.flame_svg()
+        if svg:
+            sampler = perf.sampler
+            out.append("<h2>flamegraph (deterministic event-count "
+                       "sampling)</h2>")
+            out.append(f'<p class="meta">{sampler.samples} sampled '
+                       f"callbacks (every {sampler.sample_every}th "
+                       f"event) · {len(sampler.stacks)} distinct "
+                       "stacks · width = self-wall share</p>")
+            out.append(svg)
+
     # -- causal diagnosis ----------------------------------------------
     if diagnoser is not None:
         worst = diagnoser.explain_worst(worst_k)

@@ -62,13 +62,17 @@ class Observability:
                  profile: bool = False, lineage: bool = False,
                  lineage_max_nodes: int = 200_000,
                  stall_after_us: int = 2_000_000,
-                 latency_bounds=LATENCY_BOUNDS_US):
+                 latency_bounds=LATENCY_BOUNDS_US, perf=None):
         if scrape_interval_us <= 0:
             raise ValueError("scrape_interval_us must be positive")
         self.scrape_interval_us = int(scrape_interval_us)
         self.registry = MetricsRegistry()
+        # the perf observatory (repro.obs.perf.PerfObservatory) brings
+        # its own class-attributing profiler, superseding profile=True
+        self.perf = perf
         self.profiler: Optional[SimProfiler] = \
-            SimProfiler() if profile else None
+            perf.profiler if perf is not None else (
+                SimProfiler() if profile else None)
         self.spans: Optional[SpanCollector] = None
         self._latency_bounds = latency_bounds
         self._sim = None
@@ -160,12 +164,17 @@ class Observability:
 
         if self.profiler is not None:
             sim.profiler = self.profiler
+        if self.perf is not None:
+            self.perf.attach()
 
         self._tick()   # scrape t=0, then self-schedule
         return self
 
     def _tick(self) -> None:
         self.registry.scrape(self._sim.now)
+        if self.perf is not None:
+            # heap/GC sampling rides the scrape tick: no extra events
+            self.perf.tick(self._sim.now, self.spans)
         if self.watchdog is not None:
             # passive mid-run stall detection: piggybacks on the scrape
             # tick instead of scheduling its own events (two
@@ -186,6 +195,8 @@ class Observability:
         self.registry.scrape(now_us)
         if self.spans is not None:
             self.spans.finalize(now_us)
+        if self.perf is not None:
+            self.perf.finalize(now_us, self.spans)
 
     @staticmethod
     def _progress_signature(ssock, rsocks):
@@ -311,6 +322,8 @@ class Observability:
                 tables.append(("packet-lifecycle latency (us)",
                                ["histogram", "n", "mean", "p50", "p90",
                                 "max"], hist_rows))
+        if self.perf is not None:
+            tables.extend(self.perf.summary_tables())
         return tables
 
     def summary(self) -> str:
@@ -337,6 +350,10 @@ class Observability:
         with open(paths["summary"], "w") as fh:
             fh.write(self.summary())
             fh.write("\n")
+        if self.perf is not None and self.perf.sampler is not None:
+            paths["collapsed"] = os.path.join(outdir,
+                                              f"{prefix}.collapsed.txt")
+            self.perf.write_collapsed(paths["collapsed"])
         if self.tracer is not None and self.lineage is not None:
             paths["trace"] = os.path.join(outdir, f"{prefix}.trace.jsonl")
             self.tracer.save(paths["trace"])

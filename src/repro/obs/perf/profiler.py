@@ -1,0 +1,123 @@
+"""Event-class engine profiler.
+
+:class:`PerfProfiler` extends the flat per-site
+:class:`~repro.obs.profiler.SimProfiler` with the observatory's three
+jobs:
+
+* aggregate the same two clocks (virtual advance, callback wall time)
+  per **event class** (see :mod:`repro.obs.perf.taxonomy`) and render
+  the "tax table" -- events/s and self-wall share per class;
+* memoize classification and site labels by underlying function object
+  so the per-event overhead is two dict probes (bound methods are
+  recreated per schedule, so caching by callback identity would never
+  hit -- the cache key is ``callback.__func__``);
+* hand every Nth executed callback to a
+  :class:`~repro.obs.perf.flame.StackSampler` -- sampling is keyed to
+  the deterministic event counter, never to wall time, so the set of
+  sampled callbacks is identical across runs of the same scenario.
+
+The profiler only exists when the observatory is enabled; a disabled
+run never constructs one (``Simulator.profiler`` stays ``None`` and the
+engine takes the bare path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter_ns
+from typing import Callable, Optional
+
+from repro.obs.perf.flame import StackSampler
+from repro.obs.perf.taxonomy import EVENT_CLASSES, classify
+from repro.obs.profiler import SimProfiler, SiteStats, site_of
+
+__all__ = ["PerfProfiler"]
+
+
+@dataclass
+class PerfProfiler(SimProfiler):
+    """Engine profiler with event-class attribution and stack sampling."""
+
+    classes: dict[str, SiteStats] = field(default_factory=dict)
+    sampler: Optional[StackSampler] = None
+    _fn_site: dict = field(default_factory=dict, repr=False)
+    _fn_class: dict = field(default_factory=dict, repr=False)
+
+    def execute(self, callback: Callable, args: tuple, sim_dt_us: int) -> None:
+        fn = getattr(callback, "__func__", callback)
+        site = self._fn_site.get(fn)
+        if site is None:
+            site = self._fn_site[fn] = site_of(callback)
+        owner = getattr(callback, "__self__", None)
+        event_class = (getattr(owner, "event_class", "")
+                       if owner is not None else "")
+        if not event_class:
+            event_class = self._fn_class.get(fn, "")
+            if not event_class:
+                # classify() memoizes timers on the timer instance; only
+                # owner-independent results are safe to cache per function
+                event_class = classify(callback)
+                if owner is None or not getattr(owner, "event_class", ""):
+                    self._fn_class[fn] = event_class
+        sstats = self.sites.get(site)
+        if sstats is None:
+            sstats = self.sites[site] = SiteStats()
+        cstats = self.classes.get(event_class)
+        if cstats is None:
+            cstats = self.classes[event_class] = SiteStats()
+        sampler = self.sampler
+        t0 = perf_counter_ns()
+        try:
+            if sampler is not None and self.events % sampler.sample_every == 0:
+                sampler.run(event_class, site, callback, args)
+            else:
+                callback(*args)
+        finally:
+            wall = perf_counter_ns() - t0
+            sstats.events += 1
+            sstats.sim_us += sim_dt_us
+            sstats.wall_ns += wall
+            cstats.events += 1
+            cstats.sim_us += sim_dt_us
+            cstats.wall_ns += wall
+            self.events += 1
+            self.wall_ns_total += wall
+
+    # -- views ----------------------------------------------------------
+
+    def coverage(self) -> float:
+        """Fraction of executed callbacks attributed to a named class
+        (1 - other/total); the acceptance bar is >= 0.95."""
+        if self.events <= 0:
+            return 1.0
+        other = self.classes.get("other")
+        return 1.0 - (other.events if other is not None else 0) / self.events
+
+    def tax_rows(self) -> list[list]:
+        """The tax table: one row per observed event class, in taxonomy
+        order, ``[class, events, event_share, wall_ms, wall_share,
+        avg_us, sim_ms]``."""
+        total_events = self.events or 1
+        total_wall = self.wall_ns_total or 1
+        rows = []
+        known = [c for c in EVENT_CLASSES if c in self.classes]
+        extra = sorted(c for c in self.classes if c not in EVENT_CLASSES)
+        for name in known + extra:
+            s = self.classes[name]
+            rows.append([
+                name, s.events,
+                f"{100.0 * s.events / total_events:.1f}%",
+                round(s.wall_ns / 1e6, 2),
+                f"{100.0 * s.wall_ns / total_wall:.1f}%",
+                round(s.wall_ns / 1e3 / (s.events or 1), 2),
+                round(s.sim_us / 1000, 1),
+            ])
+        return rows
+
+    def class_payload(self) -> dict:
+        """JSON-safe per-class summary for bench snapshots."""
+        out = {}
+        for name, s in sorted(self.classes.items()):
+            out[name] = {"events": s.events, "wall_ns": s.wall_ns,
+                         "sim_us": s.sim_us}
+        return out

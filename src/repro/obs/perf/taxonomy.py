@@ -1,0 +1,188 @@
+"""Stable event-class taxonomy for engine callbacks.
+
+The tax table of the performance observatory attributes every executed
+engine callback to one of a small, *stable* set of event classes -- the
+vocabulary in which ROADMAP item 1 (the engine hot-path overhaul) makes
+its scheduler decisions.  Classes must not churn between PRs or the
+bench trajectory stops being comparable, so they live here as a frozen
+tuple:
+
+``jiffy-timer``
+    Periodic protocol ticks driven off the 10 ms jiffy machinery
+    (transmit, update, keepalive, liveness, polling rounds).  The
+    dominant class in steady state and the candidate for a timing-wheel
+    scheduler.
+``nak-repair-timer``
+    Loss-recovery timers and repair emission (NAK backoff, RTO,
+    retransmission ticks, repair subcasts).
+``nic-tx`` / ``nic-rx``
+    Device-model work: transmit-ring completions and host-side
+    transmit CPU on the way down; RX-ring enqueue/drain/protocol
+    delivery on the way up.
+``link``
+    Medium propagation: the per-receiver fan-out events a broadcast
+    schedules, plus router/pipe store-and-forward hops.
+``process-wake``
+    :class:`~repro.sim.process.SimEvent` wake-ups (blocked process
+    rendezvous).
+``app``
+    Application generator resumes (file-transfer sender/receiver
+    loops, disk model).
+``fleet-harness``
+    Everything the harness itself schedules around a run: fault
+    injection, observability scrape ticks, watchdogs.
+``other``
+    Anything the registry and the inference fallback cannot place.
+    The observatory reports coverage = 1 - other/total; the acceptance
+    bar is >= 95 %.
+
+Classification has three layers, cheapest first:
+
+1. **Registration at timer creation** -- :class:`~repro.sim.timer.Timer`
+   accepts ``event_class=`` and protocol modules pass it explicitly;
+   the profiler reads it straight off the timer instance.
+2. **Registration by callback** -- :func:`register_site` maps a
+   function object to a class; this module registers the engine-adjacent
+   callbacks of the NIC, link, router, host, process and harness layers.
+3. **Callsite inference** -- :func:`infer` pattern-matches the
+   callback's module/qualname so third-party or future callbacks
+   degrade to a sensible class instead of ``other``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["EVENT_CLASSES", "classify", "infer", "register_site",
+           "timer_class", "TIMER_CLASSES"]
+
+#: the frozen vocabulary of the tax table (order = report order)
+EVENT_CLASSES = (
+    "jiffy-timer", "nak-repair-timer", "nic-tx", "nic-rx", "link",
+    "process-wake", "app", "fleet-harness", "other",
+)
+
+#: timer-name fallback for timers created without ``event_class=``
+TIMER_CLASSES = {
+    "transmit": "jiffy-timer",
+    "update": "jiffy-timer",
+    "keepalive": "jiffy-timer",
+    "liveness": "jiffy-timer",
+    "poll": "jiffy-timer",
+    "poll-tx": "jiffy-timer",
+    "ack-tx": "jiffy-timer",
+    "tcp-tx": "jiffy-timer",
+    "linger": "jiffy-timer",
+    "leave-timeout": "jiffy-timer",
+    "nak": "nak-repair-timer",
+    "retrans": "nak-repair-timer",
+    "join-retry": "nak-repair-timer",
+    "rto": "nak-repair-timer",
+    "ack-rto": "nak-repair-timer",
+    "tcp-rto": "nak-repair-timer",
+}
+
+#: function object -> event class (layer 2)
+_REGISTRY: dict[object, str] = {}
+
+
+def _underlying(func: Callable) -> object:
+    return getattr(func, "__func__", func)
+
+
+def register_site(func: Callable, event_class: str) -> None:
+    """Register ``func`` (a plain function or an unbound method) as
+    belonging to ``event_class``.  The registration API for callbacks
+    that are not timers; modules may call this for their own callbacks."""
+    if event_class not in EVENT_CLASSES:
+        raise ValueError(f"unknown event class {event_class!r}; "
+                         f"known: {', '.join(EVENT_CLASSES)}")
+    _REGISTRY[_underlying(func)] = event_class
+
+
+def timer_class(name: str) -> str:
+    """Event class of a :class:`~repro.sim.timer.Timer` by its name
+    (fallback for timers armed without an explicit ``event_class=``)."""
+    return TIMER_CLASSES.get(name, "jiffy-timer")
+
+
+#: (module prefix, qualname substring or "", class) -- first match wins
+_INFER_RULES = (
+    ("repro.net.nic", "_tx", "nic-tx"),
+    ("repro.net.nic", "medium_deliver", "link"),
+    ("repro.net.nic", "", "nic-rx"),
+    ("repro.net.link", "", "link"),
+    ("repro.net.router", "", "link"),
+    ("repro.kernel.host", "_xmit", "nic-tx"),
+    ("repro.kernel.host", "", "nic-rx"),
+    ("repro.sim.process", "Process.", "app"),
+    ("repro.sim.process", "", "process-wake"),
+    ("repro.apps", "", "app"),
+    ("repro.core.receiver", "_emit_repairs", "nak-repair-timer"),
+    ("repro.obs", "", "fleet-harness"),
+    ("repro.faults", "", "fleet-harness"),
+    ("repro.harness", "", "fleet-harness"),
+    ("repro.fleet", "", "fleet-harness"),
+)
+
+
+def infer(module: str, qualname: str) -> str:
+    """Layer-3 fallback: place a callback by its defining module and
+    qualified name.  Returns ``"other"`` when nothing matches."""
+    for prefix, fragment, event_class in _INFER_RULES:
+        if module == prefix or module.startswith(prefix + "."):
+            if not fragment or fragment in qualname:
+                return event_class
+    return "other"
+
+
+# -- layer-2 registrations for the engine-adjacent callbacks ------------
+# (imports are top-down: obs.perf may depend on sim/net/kernel, never
+# the other way around)
+
+def _register_builtin_sites() -> None:
+    from repro.kernel.host import Host
+    from repro.net.nic import NetworkInterface
+    from repro.sim.process import Process, SimEvent
+
+    register_site(NetworkInterface._tx_done, "nic-tx")
+    register_site(Host._xmit, "nic-tx")
+    register_site(NetworkInterface.medium_deliver, "link")
+    register_site(NetworkInterface._rx_enqueue, "nic-rx")
+    register_site(NetworkInterface._rx_process, "nic-rx")
+    register_site(NetworkInterface._rx_done, "nic-rx")
+    register_site(Process._resume, "app")
+    register_site(SimEvent.fire, "process-wake")
+
+
+_register_builtin_sites()
+
+
+def classify(callback: Callable) -> str:
+    """Classify one engine callback (slow path; the profiler memoizes).
+
+    Order: the owning object's ``event_class`` attribute (layer 1,
+    timers), then the per-timer-name fallback, then the function
+    registry (layer 2), then module/qualname inference (layer 3)."""
+    fn = _underlying(callback)
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        event_class = getattr(owner, "event_class", "")
+        if event_class:
+            return event_class
+        if fn is _TIMER_FIRE:
+            event_class = timer_class(owner.name)
+            # memoize on the timer: later fires hit the attribute path
+            owner.event_class = event_class
+            return event_class
+    registered = _REGISTRY.get(fn)
+    if registered is not None:
+        return registered
+    return infer(getattr(fn, "__module__", "") or "",
+                 getattr(fn, "__qualname__", "") or "")
+
+
+# resolved late so the Timer import sits with its use
+from repro.sim.timer import Timer as _Timer  # noqa: E402
+
+_TIMER_FIRE = _Timer._fire

@@ -50,11 +50,18 @@ class SimProfiler:
     sites: dict[str, SiteStats] = field(default_factory=dict)
     events: int = 0
     wall_ns_total: int = 0
+    # site labels memoized by the underlying function object: bound
+    # methods are recreated per schedule, so caching by callback
+    # identity would never hit, but ``__func__`` is stable
+    _site_by_fn: dict = field(default_factory=dict, repr=False)
 
     def execute(self, callback: Callable, args: tuple, sim_dt_us: int) -> None:
         """Run ``callback(*args)`` under the profiler (called by the
         engine for every non-cancelled entry)."""
-        label = site_of(callback)
+        fn = getattr(callback, "__func__", callback)
+        label = self._site_by_fn.get(fn)
+        if label is None:
+            label = self._site_by_fn[fn] = site_of(callback)
         stats = self.sites.get(label)
         if stats is None:
             stats = self.sites[label] = SiteStats()

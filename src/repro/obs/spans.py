@@ -208,3 +208,20 @@ class SpanCollector:
 
     def histograms(self) -> list[Histogram]:
         return [self.one_way_us, self.queueing_us, self.recovery_us]
+
+    def current_phase(self) -> str:
+        """Coarse aggregate protocol phase right now, for attributing
+        point-in-time samples (the perf observatory's heap snapshots).
+        Recovery wins while any burst is open; otherwise the run is in
+        close once any receiver saw FIN, in transfer once data flows,
+        in join while handshakes are outstanding, else idle."""
+        for span in self._bursts.values():
+            if span.end_us is None:
+                return "recovery"
+        if self._close:
+            return "close"
+        if self._transfer:
+            return "transfer"
+        if self._join:
+            return "join"
+        return "idle"

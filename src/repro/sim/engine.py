@@ -162,16 +162,20 @@ class Simulator:
         budget = max_events if max_events is not None else -1
         profiler = self.profiler
         lineage = self.lineage
+        heappop = heapq.heappop   # hoisted: one global lookup per run
         try:
+            # NOTE: self._heap must be re-read every iteration -- a
+            # callback may cancel enough entries to trigger _compact(),
+            # which rebinds the list.
             while self._heap:
                 entry = self._heap[0]
                 if entry.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(self._heap)
                     self._dead -= 1
                     continue
                 if until is not None and entry.time > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(self._heap)
                 self._live -= 1
                 prev = self._now
                 self._now = entry.time

@@ -44,11 +44,16 @@ class Timer:
     socket.
     """
 
-    def __init__(self, sim: Simulator, callback: Callable[[], None], name: str = ""):
+    def __init__(self, sim: Simulator, callback: Callable[[], None],
+                 name: str = "", event_class: str = ""):
         self._sim = sim
         self._callback = callback
         self._entry = None
         self.name = name
+        # performance-observatory taxonomy label (see
+        # repro.obs.perf.taxonomy); a plain string so the sim layer
+        # never imports obs.  Empty means "infer from the timer name".
+        self.event_class = event_class
         self.fired_count = 0
 
     @property

@@ -1,0 +1,161 @@
+"""Bench-trajectory comparison: did this PR regress the engine?
+
+Point snapshots (``BENCH_*.json``) answer "how fast is it now";
+:func:`compare` answers the question CI actually asks -- "is *new*
+worse than *old* by more than a threshold" -- and
+:func:`history_rows` reads the longitudinal ``BENCH_HISTORY.jsonl``
+log that :func:`repro.stats.bench.write_bench_snapshot` appends to.
+
+Comparison is metric-by-metric against fractional thresholds
+(default: events/s within 15 %).  ``events_per_s`` falls back to the
+pre-v2 ``engine_events_per_s`` spelling so v1 snapshots (committed
+before the schema bump) remain comparable; throughput-like metrics
+regress when the new value drops, cost-like metrics (``wall_s``,
+``peak_rss_kb``) when it grows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["BenchComparison", "MetricDelta", "DEFAULT_THRESHOLDS",
+           "compare", "load_bench", "metric_value", "history_rows"]
+
+#: metric -> accepted key spellings, newest first
+METRIC_ALIASES: dict[str, tuple[str, ...]] = {
+    "events_per_s": ("events_per_s", "engine_events_per_s"),
+}
+
+#: metrics where *growth* is the regression direction
+LOWER_IS_BETTER = frozenset({"wall_s", "peak_rss_kb"})
+
+#: the CI gate: events/s may not drop more than 15 %
+DEFAULT_THRESHOLDS: dict[str, float] = {"events_per_s": 0.15}
+
+
+def load_bench(path: str) -> dict:
+    """Load one ``BENCH_*.json`` document; one-line errors on junk."""
+    if not os.path.exists(path):
+        raise ValueError(f"bench snapshot not found: {path}")
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable bench snapshot {path}: {exc}") from exc
+    if not isinstance(doc, dict) or "bench" not in doc:
+        raise ValueError(f"not a bench snapshot (no 'bench' key): {path}")
+    return doc
+
+
+def metric_value(doc: dict, metric: str) -> float | None:
+    """Top-level metric lookup with alias fallback; None when absent
+    or non-numeric."""
+    for key in METRIC_ALIASES.get(metric, (metric,)):
+        value = doc.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    return None
+
+
+@dataclass
+class MetricDelta:
+    """One metric's old-vs-new verdict."""
+
+    metric: str
+    old: float
+    new: float
+    threshold: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.new / self.old if self.old else float("inf")
+
+
+@dataclass
+class BenchComparison:
+    """The verdict of :func:`compare`."""
+
+    old_name: str
+    new_name: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)  # metrics absent somewhere
+
+    @property
+    def regressed(self) -> bool:
+        return any(d.regressed for d in self.deltas)
+
+    @property
+    def usable(self) -> bool:
+        """At least one threshold metric was present in both documents."""
+        return bool(self.deltas)
+
+    def rows(self) -> list[list]:
+        """``[metric, old, new, ratio, threshold, verdict]`` table rows."""
+        out = []
+        for d in self.deltas:
+            direction = "-" if d.metric in LOWER_IS_BETTER else "+"
+            out.append([d.metric, round(d.old, 1), round(d.new, 1),
+                        f"{d.ratio:.3f}",
+                        f"{direction}{d.threshold:.0%}",
+                        "REGRESSED" if d.regressed else "ok"])
+        for metric in self.skipped:
+            out.append([metric, "-", "-", "-", "-", "skipped"])
+        return out
+
+
+def compare(old, new, thresholds: dict[str, float] | None = None
+            ) -> BenchComparison:
+    """Compare two bench documents (dicts or paths) metric-by-metric.
+
+    ``thresholds`` maps metric name to the tolerated fractional drift
+    (default: ``events_per_s`` within 15 %).  A throughput metric
+    regresses when ``new < old * (1 - threshold)``; a cost metric
+    (in :data:`LOWER_IS_BETTER`) when ``new > old * (1 + threshold)``.
+    Metrics missing from either side are recorded as skipped, never
+    silently ignored.
+    """
+    if isinstance(old, str):
+        old = load_bench(old)
+    if isinstance(new, str):
+        new = load_bench(new)
+    thresholds = thresholds if thresholds is not None else DEFAULT_THRESHOLDS
+    result = BenchComparison(old.get("bench", "?"), new.get("bench", "?"))
+    for metric in thresholds:
+        threshold = float(thresholds[metric])
+        if threshold < 0:
+            raise ValueError(f"negative threshold for {metric}")
+        old_v = metric_value(old, metric)
+        new_v = metric_value(new, metric)
+        if old_v is None or new_v is None:
+            result.skipped.append(metric)
+            continue
+        if metric in LOWER_IS_BETTER:
+            regressed = new_v > old_v * (1.0 + threshold)
+        else:
+            regressed = new_v < old_v * (1.0 - threshold)
+        result.deltas.append(
+            MetricDelta(metric, old_v, new_v, threshold, regressed))
+    return result
+
+
+def history_rows(path: str) -> list[dict]:
+    """Parse ``BENCH_HISTORY.jsonl`` (newest last); one-line errors."""
+    if not os.path.exists(path):
+        raise ValueError(f"bench history not found: {path}")
+    rows = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: bad history row: {exc}") from exc
+            if isinstance(row, dict):
+                rows.append(row)
+    return rows

@@ -1,0 +1,44 @@
+"""Opt-in per-job perf capture: RunSpec(perf=True) carries the
+event-class payload across the worker boundary."""
+
+import json
+
+from repro.fleet.spec import RunSpec
+from repro.fleet.summary import RunSummary
+from repro.fleet.worker import execute_spec, run_spec
+from repro.obs.perf import EVENT_CLASSES
+
+
+def _spec(**kw):
+    return RunSpec.lan(2, 100e6, seed=7, nbytes=150_000,
+                       sndbuf=128 * 1024, **kw)
+
+
+def test_perf_capture_off_by_default():
+    summary = run_spec(_spec())
+    assert summary.ok
+    assert summary.perf == {}
+
+
+def test_perf_capture_collects_tax_table():
+    summary = run_spec(_spec(perf=True))
+    assert summary.ok
+    perf = summary.perf
+    assert perf["events"] == summary.sim_events
+    assert perf["coverage"] >= 0.95
+    assert set(perf["classes"]) <= set(EVENT_CLASSES)
+    # stack sampling is off in fleet capture (summaries stay small)
+    assert "flame_samples" not in perf
+
+
+def test_perf_payload_survives_worker_boundary():
+    wire = execute_spec(_spec(perf=True).to_dict())
+    # JSON-canonical all the way down
+    assert wire == json.loads(json.dumps(wire, sort_keys=True))
+    summary = RunSummary.from_dict(wire)
+    assert summary.perf["coverage"] >= 0.95
+    assert summary.to_dict()["perf"] == wire["perf"]
+
+
+def test_perf_flag_changes_spec_identity():
+    assert _spec().content_hash() != _spec(perf=True).content_hash()

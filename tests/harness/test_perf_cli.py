@@ -1,0 +1,91 @@
+"""The ``perf`` CLI family: profile, compare, history.
+
+Exit-code contract (shared with ``diff``): 0 = ok / within thresholds,
+1 = regressed / run failed, 2 = unusable input.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def profiled(tmp_path_factory):
+    """One small profiled run shared by the CLI tests (the profile
+    subcommand is the expensive part)."""
+    tmp = tmp_path_factory.mktemp("perf-cli")
+    out = tmp / "artifacts"
+    bench = tmp / "fresh.json"
+    rc = cli_main(["perf", "profile", "lan", "--receivers", "2",
+                   "--nbytes", "200000", "--seed", "7",
+                   "--out", str(out), "--bench-out", str(bench)])
+    assert rc == 0
+    return {"out": out, "bench": bench}
+
+
+def test_profile_writes_artifacts_and_snapshot(profiled):
+    out, bench = profiled["out"], profiled["bench"]
+    assert (out / "lan.collapsed.txt").exists()
+    lines = (out / "lan.collapsed.txt").read_text().splitlines()
+    assert lines and all(line.startswith("engine;") for line in lines)
+    doc = json.loads(bench.read_text())
+    assert doc["bench"] == "perf-profile"
+    assert doc["events_per_s"] > 0
+    assert doc["perf"]["coverage"] >= 0.95
+    # the snapshot regeneration appended a trajectory row
+    hist = bench.parent / "BENCH_HISTORY.jsonl"
+    assert hist.exists()
+    assert json.loads(hist.read_text().splitlines()[-1])["bench"] == \
+        "perf-profile"
+
+
+def test_profile_html_report_embeds_flamegraph(tmp_path):
+    out = tmp_path / "artifacts"
+    rc = cli_main(["perf", "profile", "lan", "--receivers", "2",
+                   "--nbytes", "100000", "--out", str(out), "--html"])
+    assert rc == 0
+    html = (out / "lan.report.html").read_text()
+    assert "flamegraph" in html and "<svg" in html
+    assert "event-class tax table" in html
+
+
+def test_compare_exit_codes(profiled, tmp_path):
+    bench = str(profiled["bench"])
+    # same snapshot vs itself: within thresholds
+    assert cli_main(["perf", "compare", bench, bench]) == 0
+    # injected 50 % regression: gate trips
+    doc = json.loads(profiled["bench"].read_text())
+    doc["events_per_s"] = doc["events_per_s"] * 0.5
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(doc))
+    assert cli_main(["perf", "compare", bench, str(slow)]) == 1
+    # a wide threshold waves the same pair through
+    assert cli_main(["perf", "compare", bench, str(slow),
+                     "--threshold", "0.6"]) == 0
+    # unusable inputs
+    assert cli_main(["perf", "compare", bench,
+                     str(tmp_path / "missing.json")]) == 2
+    nometric = tmp_path / "nometric.json"
+    nometric.write_text('{"bench": "empty"}')
+    assert cli_main(["perf", "compare", bench, str(nometric)]) == 2
+
+
+def test_compare_rejects_bad_threshold(profiled):
+    bench = str(profiled["bench"])
+    assert cli_main(["perf", "compare", bench, bench,
+                     "--threshold", "1.5"]) == 2
+
+
+def test_history_exit_codes(profiled, tmp_path, capsys):
+    hist = profiled["bench"].parent / "BENCH_HISTORY.jsonl"
+    assert cli_main(["perf", "history", "--file", str(hist)]) == 0
+    assert "perf-profile" in capsys.readouterr().out
+    assert cli_main(["perf", "history", "--file",
+                     str(tmp_path / "missing.jsonl")]) == 2
+
+
+def test_perf_usage_on_unknown_subcommand():
+    assert cli_main(["perf"]) == 2
+    assert cli_main(["perf", "bogus"]) == 2

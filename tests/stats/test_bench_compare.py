@@ -1,0 +1,157 @@
+"""Bench trajectory: snapshot envelope v2, history log, compare gate."""
+
+import json
+
+import pytest
+
+from repro.stats.bench import (BENCH_SCHEMA_VERSION, append_history,
+                               bench_environment, write_bench_snapshot)
+from repro.stats.trajectory import (DEFAULT_THRESHOLDS, compare, history_rows,
+                                    load_bench, metric_value)
+
+
+def _doc(events_per_s, **extra):
+    return {"bench": "t", "events_per_s": events_per_s, **extra}
+
+
+# -- compare -----------------------------------------------------------
+
+
+def test_compare_within_threshold_ok():
+    c = compare(_doc(100.0), _doc(90.0))
+    assert c.usable and not c.regressed
+    (d,) = c.deltas
+    assert d.metric == "events_per_s"
+    assert d.ratio == pytest.approx(0.9)
+
+
+def test_compare_detects_regression():
+    c = compare(_doc(100.0), _doc(84.9))
+    assert c.regressed
+    assert c.rows()[0][-1] == "REGRESSED"
+
+
+def test_compare_improvement_never_regresses():
+    c = compare(_doc(100.0), _doc(500.0))
+    assert not c.regressed
+
+
+def test_compare_lower_is_better_direction():
+    c = compare(_doc(100.0, wall_s=1.0), _doc(100.0, wall_s=2.0),
+                {"events_per_s": 0.15, "wall_s": 0.15})
+    verdicts = {d.metric: d.regressed for d in c.deltas}
+    assert verdicts == {"events_per_s": False, "wall_s": True}
+    # the gate column shows the direction: + for throughput, - for cost
+    gates = {r[0]: r[4] for r in c.rows()}
+    assert gates["events_per_s"] == "+15%"
+    assert gates["wall_s"] == "-15%"
+
+
+def test_compare_custom_threshold():
+    assert not compare(_doc(100.0), _doc(84.9),
+                       {"events_per_s": 0.20}).regressed
+    assert compare(_doc(100.0), _doc(84.9),
+                   {"events_per_s": 0.10}).regressed
+
+
+def test_compare_rejects_negative_threshold():
+    with pytest.raises(ValueError, match="negative threshold"):
+        compare(_doc(1.0), _doc(1.0), {"events_per_s": -0.1})
+
+
+def test_compare_v1_alias_fallback():
+    """Pre-v2 snapshots spelled the metric ``engine_events_per_s``;
+    they must stay comparable after the schema bump."""
+    old = {"bench": "engine-snapshot", "engine_events_per_s": 54959}
+    c = compare(old, _doc(54000.0))
+    assert c.usable and not c.regressed
+    assert metric_value(old, "events_per_s") == 54959.0
+
+
+def test_compare_missing_metric_is_skipped_not_silent():
+    c = compare({"bench": "a"}, _doc(100.0))
+    assert not c.usable
+    assert c.skipped == ["events_per_s"]
+    assert c.rows()[-1][-1] == "skipped"
+
+
+def test_metric_value_rejects_bool():
+    assert metric_value({"events_per_s": True}, "events_per_s") is None
+
+
+def test_default_thresholds_gate():
+    assert DEFAULT_THRESHOLDS == {"events_per_s": 0.15}
+
+
+# -- load_bench --------------------------------------------------------
+
+
+def test_load_bench_errors(tmp_path):
+    with pytest.raises(ValueError, match="not found"):
+        load_bench(str(tmp_path / "missing.json"))
+    junk = tmp_path / "junk.json"
+    junk.write_text("{nope")
+    with pytest.raises(ValueError, match="unreadable"):
+        load_bench(str(junk))
+    nobench = tmp_path / "nobench.json"
+    nobench.write_text('{"events_per_s": 1}')
+    with pytest.raises(ValueError, match="no 'bench' key"):
+        load_bench(str(nobench))
+
+
+def test_compare_accepts_paths(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text(json.dumps(_doc(100.0)))
+    b.write_text(json.dumps(_doc(50.0)))
+    assert compare(str(a), str(b)).regressed
+
+
+# -- snapshot envelope + history --------------------------------------
+
+
+def test_write_bench_snapshot_envelope_and_history(tmp_path):
+    path = tmp_path / "BENCH_X.json"
+    doc = write_bench_snapshot(str(path), "x-bench", {"extra": 1},
+                               events_per_s=1234.56)
+    on_disk = load_bench(str(path))
+    assert on_disk == doc
+    assert doc["bench"] == "x-bench"
+    assert doc["events_per_s"] == 1234.6
+    assert doc["extra"] == 1
+    assert doc["environment"]["schema_version"] == BENCH_SCHEMA_VERSION
+    # one history row appended beside the snapshot
+    rows = history_rows(str(tmp_path / "BENCH_HISTORY.jsonl"))
+    assert len(rows) == 1
+    assert rows[0]["bench"] == "x-bench"
+    assert rows[0]["events_per_s"] == 1234.6
+    assert rows[0]["git_rev"] == doc["environment"]["git_rev"]
+
+
+def test_write_bench_snapshot_history_opt_out(tmp_path):
+    path = tmp_path / "BENCH_Y.json"
+    write_bench_snapshot(str(path), "y", {}, events_per_s=1.0,
+                         history=False)
+    assert not (tmp_path / "BENCH_HISTORY.jsonl").exists()
+
+
+def test_append_history_round_trip(tmp_path):
+    hist = tmp_path / "BENCH_HISTORY.jsonl"
+    env = bench_environment()
+    append_history(str(hist), "a", 100.0, env)
+    append_history(str(hist), "b", 200.0, env, extra={"note": "x"})
+    rows = history_rows(str(hist))
+    assert [r["bench"] for r in rows] == ["a", "b"]
+    assert rows[1]["note"] == "x"
+    # each row is one line of sorted-key JSON (mergeable, diffable)
+    lines = hist.read_text().splitlines()
+    assert len(lines) == 2
+    assert all(json.loads(line) for line in lines)
+
+
+def test_history_rows_errors(tmp_path):
+    with pytest.raises(ValueError, match="not found"):
+        history_rows(str(tmp_path / "missing.jsonl"))
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ok": 1}\n{nope\n')
+    with pytest.raises(ValueError, match="bad history row"):
+        history_rows(str(bad))
