@@ -4,7 +4,7 @@ Protocol for the Linux Kernel" (McKinley, Rao & Wright, SC '99).
 Top-level convenience exports; see the subpackages for the full API:
 
 - :mod:`repro.core` -- the H-RMC protocol
-- :mod:`repro.rmc` -- the original pure-NAK RMC baseline
+- :mod:`repro.core.rmc` -- the original pure-NAK RMC baseline
 - :mod:`repro.baselines` -- ACK-based, polling-based, TCP-like
 - :mod:`repro.sim` / :mod:`repro.net` / :mod:`repro.kernel` -- substrate
 - :mod:`repro.workloads` / :mod:`repro.harness` -- experiments
@@ -13,7 +13,7 @@ Top-level convenience exports; see the subpackages for the full API:
 
 from repro.core import HRMCConfig, open_hrmc_socket
 from repro.harness import TransferResult, run_transfer
-from repro.rmc import open_rmc_socket
+from repro.core.rmc import open_rmc_socket
 from repro.workloads import build_lan, build_wan
 
 __version__ = "1.0.0"

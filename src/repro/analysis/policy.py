@@ -43,13 +43,13 @@ RNG_ALLOWED = ("repro.sim.rng",)
 #: PR 4 packet-id-counter bug class: cross-run contamination inside one
 #: worker process)
 GLOBAL_STATE_PACKAGES = (
-    "repro.sim", "repro.net", "repro.kernel", "repro.rmc", "repro.core",
+    "repro.sim", "repro.net", "repro.kernel", "repro.core",
 )
 
 #: packages where unordered-iteration hazards are checked (scheduling,
 #: serialization and hashing paths)
 ORDERING_PACKAGES = (
-    "repro.sim", "repro.net", "repro.kernel", "repro.rmc", "repro.core",
+    "repro.sim", "repro.net", "repro.kernel", "repro.core",
     "repro.faults", "repro.trace", "repro.obs", "repro.stats",
     "repro.fleet", "repro.workloads", "repro.baselines", "repro.apps",
     "repro.analysis",

@@ -44,6 +44,9 @@ class NakList:
 
     def __init__(self):
         self._ranges: list[NakRange] = []
+        # optional protocol-health probe (repro.obs.health); None in
+        # ordinary runs -- every hook site is a single attribute test
+        self.health = None
 
     def __len__(self) -> int:
         return len(self._ranges)
@@ -85,36 +88,47 @@ class NakList:
         base = merged[0].start if merged else 0
         merged.sort(key=lambda r: seq_sub(r.start, base))
         self._ranges = merged
+        if new and self.health is not None:
+            self.health.on_gaps_opened(new)
         return new
 
     def fill(self, start: int, end: int) -> None:
         """Data [start, end) arrived; shrink/split/remove covered ranges."""
         if seq_geq(start, end):
             return
+        h = self.health
         out: list[NakRange] = []
         for rng in self._ranges:
             if seq_leq(end, rng.start) or seq_geq(start, rng.end):
                 out.append(rng)  # disjoint
                 continue
+            covered = True
             if seq_lt(rng.start, start):
                 left = NakRange(rng.start, seq_min(start, rng.end),
                                 rng.created_us)
                 left.last_sent_us = rng.last_sent_us
                 left.tries = rng.tries
                 out.append(left)
+                covered = False
             if seq_lt(end, rng.end):
                 right = NakRange(seq_max(end, rng.start), rng.end,
                                  rng.created_us)
                 right.last_sent_us = rng.last_sent_us
                 right.tries = rng.tries
                 out.append(right)
+                covered = False
+            if covered and h is not None:
+                h.on_gap_removed(rng)
         self._ranges = out
 
     def fill_below(self, seq: int) -> None:
         """Everything below ``seq`` is now in order."""
+        h = self.health
         out = []
         for rng in self._ranges:
             if seq_leq(rng.end, seq):
+                if h is not None:
+                    h.on_gap_removed(rng)
                 continue
             if seq_lt(rng.start, seq):
                 rng.start = seq

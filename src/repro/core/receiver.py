@@ -90,6 +90,10 @@ class HRMCReceiver:
         self._repairs_seen: dict[int, int] = {}   # seq -> time observed
         self._lr_rng = substream(0, f"local-recovery:{host.addr}")
 
+        # optional protocol-health probe (repro.obs.health), installed
+        # by HealthMonitor.bind_receiver; None in ordinary runs
+        self.health = None
+
         self.leave_acked = False
         self.failed = False             # sender declared dead
         self._last_sender_us = -1
@@ -182,13 +186,20 @@ class HRMCReceiver:
         peer_repair = (self.cfg.local_recovery and src and
                        self.sender_addr is not None and
                        src != self.sender_addr)
+        h = self.health
         if peer_repair:
             # remember the repair so our own pending repair for the same
             # data is suppressed
             self._repairs_seen[seq] = self.sim.now
+            if h is not None:
+                # pending NAKs this repair resolves were suppressed by
+                # the peer, not by our own re-NAK reaching the sender
+                h.on_peer_repair(self.naks, seq, end)
 
         if seq_leq(end, self.rcv_nxt):
             self.stats.dup_pkts_rcvd += 1
+            if h is not None:
+                h.on_duplicate_data(skb, peer_repair)
             self._flow_control(skb)
             return
         if peer_repair:
@@ -204,10 +215,16 @@ class HRMCReceiver:
             self.stats.out_of_order_pkts += 1
             if seq not in self._ooo:
                 self._ooo[seq] = skb
+                if h is not None and (skb.tries > 1 or peer_repair):
+                    h.on_repair_useful(skb)
                 self._note_gap(self.rcv_nxt, seq)
             else:
                 self.stats.dup_pkts_rcvd += 1
+                if h is not None:
+                    h.on_duplicate_data(skb, peer_repair)
         else:
+            if h is not None and (skb.tries > 1 or peer_repair):
+                h.on_repair_useful(skb)
             self._integrate(skb)
             self._drain_ooo()
         self._flow_control(skb)
@@ -239,15 +256,22 @@ class HRMCReceiver:
     def _cache_for_repair(self, seq: int, length: int,
                           payload: Payload) -> None:
         """Retain delivered data so we can serve peer repair requests."""
+        h = self.health
         if seq in self._repair_cache:
+            if h is not None:
+                h.on_cache_overwrite()
             return
         entry = SKBuff(sport=self.sock.num, dport=self.sock.num, seq=seq,
                        ptype=PacketType.DATA, length=length, payload=payload)
         self._repair_cache[seq] = entry
         self._repair_cache_bytes += length
+        if h is not None:
+            h.on_cache_insert()
         while self._repair_cache_bytes > self.cfg.repair_cache_bytes:
             _, old = self._repair_cache.popitem(last=False)
             self._repair_cache_bytes -= old.length
+            if h is not None:
+                h.on_cache_evict()
 
     def _drain_ooo(self) -> None:
         while True:
@@ -293,7 +317,13 @@ class HRMCReceiver:
         if self._closed:
             return
         now = self.sim.now
-        for rng in self.naks.due(now, self._suppress_us()):
+        due = self.naks.due(now, self._suppress_us())
+        h = self.health
+        if h is not None:
+            # pending ranges not due are re-NAK opportunities withheld
+            # by the local suppression timer
+            h.on_nak_tick(len(self.naks), len(due))
+        for rng in due:
             self._send_nak(rng, now)
         if self.naks:
             self.nak_timer.mod_after(self._nak_period_us())
@@ -320,6 +350,8 @@ class HRMCReceiver:
             self.host.ip_send(skb, self.sender_addr)
         self.naks.mark_sent(rng, now)
         self.stats.naks_sent += 1
+        if self.health is not None:
+            self.health.on_nak_sent(rng)
         self._feedback_since_update = True
 
     # -- peer repair (local recovery, future-work extension 3) ----------
@@ -334,8 +366,13 @@ class HRMCReceiver:
             return  # we don't have all of it either
         chunks = [e for s, e in self._repair_cache.items()
                   if seq_lt(s, end) and seq_gt(e.end_seq, start)]
+        h = self.health
         if not chunks:
+            if h is not None:
+                h.on_cache_miss()
             return
+        if h is not None:
+            h.on_cache_hit(len(chunks[:8]))
         delay = int(self._lr_rng.uniform(0.1, 1.0) * max(self.rtt.rtt_us,
                                                          2_000))
         self.sim.call_after(delay, self._emit_repairs, chunks[:8])
@@ -345,9 +382,12 @@ class HRMCReceiver:
             return
         now = self.sim.now
         horizon = 2 * max(self.rtt.rtt_us, 2_000)
+        h = self.health
         for entry in chunks:
             seen = self._repairs_seen.get(entry.seq)
             if seen is not None and now - seen < horizon:
+                if h is not None:
+                    h.on_repair_suppressed()
                 continue  # someone else already repaired it
             repair = SKBuff(sport=self.sock.num, dport=self.sock.num,
                             seq=entry.seq, ptype=PacketType.DATA,
@@ -474,7 +514,13 @@ class HRMCReceiver:
             self.rcv_nxt = lost_to
             # unread data resumes after the hole; window origin moves too
             self.rcv_wnd = seq_max(self.rcv_wnd, lost_to)
+            h = self.health
+            if h is not None:
+                # gaps wiped by a NAK_ERR were abandoned, not recovered
+                h.abandoning = True
             self.naks.fill_below(lost_to)
+            if h is not None:
+                h.abandoning = False
             self._drain_ooo()
             self.sock.data_ready.fire()
 

@@ -9,9 +9,11 @@ which case it answers with NAK_ERR and both applications are informed
 ``transport.receiver.error`` / ``lost_bytes``).
 
 The implementation shares the H-RMC engine, configured through
-:meth:`repro.core.config.HRMCConfig.as_rmc`; this package provides the
+:meth:`repro.core.config.HRMCConfig.as_rmc`; this module provides the
 RMC-branded entry points and the configuration preset so experiments
-read naturally.
+read naturally.  (Formerly the one-module package ``repro.rmc``;
+folded into core because a baseline *preset* of the core engine is
+core, not a sibling subsystem.)
 """
 
 from typing import Optional

@@ -58,6 +58,7 @@ class RunSpec:
     invariants: bool = False
     obs: bool = False          # collect observability summary tables
     perf: bool = False         # collect per-job event-class perf payload
+    health: bool = False       # collect the protocol-health payload
     tag: str = ""              # human label (part of the identity)
 
     def __post_init__(self) -> None:

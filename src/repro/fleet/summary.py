@@ -52,6 +52,9 @@ class RunSummary:
     # the spec asked for it -- carries wall-clock numbers, so it is the
     # one part of a summary that varies between executions)
     perf: dict = field(default_factory=dict)
+    # compact protocol-health payload (repro.obs.health payload();
+    # only when the spec asked for it)
+    health: dict = field(default_factory=dict)
 
     @property
     def throughput_mbps(self) -> float:
@@ -80,7 +83,8 @@ class RunSummary:
 
 def summarize_result(result: Any, *, plan_actions: int = 0,
                      obs_tables: Optional[list] = None,
-                     perf: Optional[dict] = None) -> RunSummary:
+                     perf: Optional[dict] = None,
+                     health: Optional[dict] = None) -> RunSummary:
     """Project a :class:`TransferResult` onto the wire format."""
     return RunSummary(
         protocol=result.protocol, nbytes=result.nbytes,
@@ -104,4 +108,5 @@ def summarize_result(result: Any, *, plan_actions: int = 0,
         surviving_ok=result.surviving_ok,
         obs_tables=list(obs_tables) if obs_tables else [],
         perf=dict(perf) if perf else {},
+        health=dict(health) if health else {},
     )

@@ -19,6 +19,8 @@ Usage::
     hrmc-experiments perf profile lan --html --alloc
     hrmc-experiments perf compare BENCH_PR2.json perf-artifacts/fresh.json
     hrmc-experiments perf history
+    hrmc-experiments health report wan --bounds HEALTH_BOUNDS.json
+    hrmc-experiments health sweep --experiment fig14 --html sweep.html
 
 (or ``python -m repro.harness.cli``).  Experiment runs go through the
 fleet (:mod:`repro.fleet`): specs are planned, served from the
@@ -60,6 +62,15 @@ Subcommands:
   ``perf compare OLD NEW`` gates a candidate snapshot against a
   baseline (exit 0 = within thresholds, 1 = regressed, 2 = unusable);
   ``perf history`` renders the longitudinal ``BENCH_HISTORY.jsonl``.
+* ``health report lan|wan|chaos`` runs one transfer under the
+  protocol-health observatory (:mod:`repro.obs.health`): NAK-
+  suppression ledger, feedback-implosion index, repair economics and
+  recovery-lag distributions; ``--bounds`` gates effectiveness /
+  redundancy against the committed ``HEALTH_BOUNDS.json`` (exit 0 =
+  healthy, 1 = violated, 2 = unusable).  ``health sweep`` runs a
+  fleet grid over group sizes and fits scaling laws
+  (:mod:`repro.stats.scaling`) -- the paper's §5.2 flat-feedback
+  claim as a fitted exponent -- with per-cell anomaly flags.
 """
 
 from __future__ import annotations
@@ -580,7 +591,7 @@ def _run_perf_compare(argv) -> int:
 def _run_perf_history(argv) -> int:
     """``perf history``: render the longitudinal BENCH_HISTORY.jsonl."""
     from repro.stats.report import format_table
-    from repro.stats.trajectory import history_rows
+    from repro.stats.trajectory import collapse_history, history_rows
 
     parser = argparse.ArgumentParser(
         prog="hrmc-experiments perf history",
@@ -598,6 +609,9 @@ def _run_perf_history(argv) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    # histories written before the replace-on-match fix can carry
+    # duplicate (bench, rev) rows; show one point per revision
+    rows = collapse_history(rows)
     if args.bench:
         rows = [r for r in rows if r.get("bench") == args.bench]
     table = [[r.get("date", "?"), r.get("bench", "?"),
@@ -619,6 +633,286 @@ def _run_perf(argv) -> int:
     if argv and argv[0] == "history":
         return _run_perf_history(argv[1:])
     print("usage: hrmc-experiments perf {profile,compare,history} ...",
+          file=sys.stderr)
+    return 2
+
+
+# -- health subcommand family -------------------------------------------
+
+def _load_health_bounds(path: str, scenario: str):
+    """Load the committed gate file; ``None`` means unusable input.
+
+    The file maps scenario name (or ``"*"``) to ``metric_min`` /
+    ``metric_max`` entries over the flat cell metrics of
+    :func:`repro.stats.scaling.health_cell`.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read health bounds {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+    if not isinstance(doc, dict):
+        print(f"health bounds {path!r}: expected a JSON object",
+              file=sys.stderr)
+        return None
+    bounds = doc.get(scenario, doc.get("*"))
+    if bounds is None:
+        print(f"health bounds {path!r}: no entry for {scenario!r}",
+              file=sys.stderr)
+        return None
+    return bounds
+
+
+def _check_health_bounds(bounds: dict, cell: dict) -> list[str]:
+    """Gate a flat health cell; returns violation messages."""
+    violations = []
+    for key, limit in sorted(bounds.items()):
+        if key.endswith("_min"):
+            metric, low = key[:-4], True
+        elif key.endswith("_max"):
+            metric, low = key[:-4], False
+        else:
+            violations.append(f"bad bound key {key!r} "
+                              f"(want metric_min / metric_max)")
+            continue
+        value = cell.get(metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            violations.append(f"{metric}: absent from the health payload")
+            continue
+        if low and value < limit:
+            violations.append(f"{metric}={value:g} below bound {limit:g}")
+        elif not low and value > limit:
+            violations.append(f"{metric}={value:g} above bound {limit:g}")
+    return violations
+
+
+def _run_health_report(argv) -> int:
+    """``health report lan|wan|chaos``: one transfer under the
+    protocol-health observatory, optionally gated against committed
+    bounds.  Exit 0 = healthy, 1 = run failed or bound violated,
+    2 = unusable input.
+    """
+    from repro.harness.runner import run_transfer
+    from repro.obs import Observability
+    from repro.stats.report import format_table
+    from repro.stats.scaling import health_cell
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments health report",
+        description="Run one transfer with the protocol-health "
+                    "observatory attached and print the NAK-"
+                    "suppression ledger, implosion/repair economics "
+                    "and recovery-lag tables.")
+    _scenario_args(parser)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the health payload as JSON instead "
+                             "of tables")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the health payload as JSON")
+    parser.add_argument("--html", metavar="FILE", default=None,
+                        help="also write the self-contained HTML "
+                             "report (health tables included)")
+    parser.add_argument("--bounds", metavar="FILE", default=None,
+                        help="gate against committed bounds "
+                             "(HEALTH_BOUNDS.json)")
+    args = parser.parse_args(argv)
+
+    bounds = None
+    if args.bounds:
+        bounds = _load_health_bounds(args.bounds, args.scenario)
+        if bounds is None:
+            return 2
+
+    obs = Observability(profile=False, health=True)
+    scenario, kwargs = _build_scenario(args)
+    result = run_transfer(scenario, nbytes=args.nbytes,
+                          protocol=args.protocol, obs=obs,
+                          max_sim_s=300, **kwargs)
+    payload = obs.health.payload()
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{args.scenario} x{args.receivers} {args.protocol} "
+              f"{args.nbytes} bytes: ok={result.ok} "
+              f"throughput={result.throughput_mbps:.2f} Mbit/s\n")
+        for title, headers, rows in obs.health.summary_tables():
+            print(format_table(title, headers, rows))
+            print()
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write {args.out!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote health payload: {args.out}")
+    if args.html:
+        from repro.obs.html import write_report
+        try:
+            write_report(args.html, obs,
+                         title=f"H-RMC protocol health: {args.scenario}")
+        except OSError as exc:
+            print(f"cannot write {args.html!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote html: {args.html}")
+
+    rc = 0 if result.ok else 1
+    if bounds is not None:
+        cell = health_cell(payload, label=args.scenario,
+                           throughput_bps=result.throughput_bps)
+        violations = _check_health_bounds(bounds, cell)
+        for msg in violations:
+            print(f"HEALTH BOUND VIOLATED: {msg}", file=sys.stderr)
+        if violations:
+            rc = 1
+        else:
+            print(f"health bounds ok ({len(bounds)} gates)")
+    return rc
+
+
+def _run_health_sweep(argv) -> int:
+    """``health sweep``: a fleet grid over group sizes with health
+    payloads on, reduced to scaling-law fits and per-cell anomaly
+    flags.  Exit 0 = clean, 1 = anomalies flagged or a cell failed,
+    2 = unusable input.
+    """
+    from repro.fleet import DEFAULT_CACHE_DIR, Fleet, FleetError, RunSpec
+    from repro.stats.report import format_table
+    from repro.stats.scaling import health_cell, sweep_report
+
+    parser = argparse.ArgumentParser(
+        prog="hrmc-experiments health sweep",
+        description="Sweep the protocol-health observatory over a "
+                    "group-size grid (Figure-14 axis) and report "
+                    "scaling-law fits -- does sender-visible feedback "
+                    "stay flat as the group grows? -- plus per-cell "
+                    "anomaly flags against the sweep median.")
+    parser.add_argument("--experiment", default="fig14",
+                        choices=("fig14",),
+                        help="sweep family (fig14: feedback vs group "
+                             "size on the WAN test cases)")
+    parser.add_argument("--grid", metavar="N,N,...", default="2,3,5,8",
+                        help="group sizes to sweep (default 2,3,5,8)")
+    parser.add_argument("--wan-test", type=int, default=2, metavar="N",
+                        help="characteristic-group test case "
+                             "(default 2)")
+    parser.add_argument("--nbytes", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument("--bandwidth", type=float, default=10.0,
+                        metavar="MBPS")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the sweep report as JSON")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the sweep report as JSON")
+    parser.add_argument("--html", metavar="FILE", default=None,
+                        help="also write the HTML sweep dashboard")
+    args = parser.parse_args(argv)
+
+    try:
+        sizes = [int(tok) for tok in args.grid.split(",") if tok.strip()]
+    except ValueError:
+        print(f"bad --grid {args.grid!r}: want comma-separated ints",
+              file=sys.stderr)
+        return 2
+    if not sizes or any(n < 1 for n in sizes):
+        print(f"bad --grid {args.grid!r}: need positive group sizes",
+              file=sys.stderr)
+        return 2
+
+    specs = [RunSpec.wan(test=args.wan_test, receivers=n,
+                         bandwidth_bps=args.bandwidth * 1e6,
+                         seed=args.seed, nbytes=args.nbytes,
+                         sndbuf=128 * 1024, max_sim_s=300.0,
+                         health=True, tag=f"health-n{n}")
+             for n in sizes]
+    fleet = Fleet(workers=args.parallel,
+                  cache_dir=None if args.no_cache
+                  else (args.cache_dir or DEFAULT_CACHE_DIR))
+    try:
+        results = fleet.run_specs(specs)
+    except FleetError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    cells, failed = [], 0
+    for n, spec in zip(sizes, specs):
+        summary = results[spec.content_hash()]
+        if not summary.ok:
+            failed += 1
+        cells.append(health_cell(
+            summary.health, label=f"n={n}", group_size=n,
+            throughput_bps=summary.throughput_bps))
+    report = sweep_report(cells)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        from repro.obs.html import _SWEEP_COLUMNS
+        columns = [c for c in _SWEEP_COLUMNS
+                   if any(c in cell for cell in cells)]
+        print(format_table(
+            f"health sweep ({args.experiment}, test {args.wan_test}, "
+            f"seed {args.seed})", columns,
+            [[cell.get(c, "-") for c in columns] for cell in cells]))
+        print()
+        if report["fits"]:
+            print(format_table(
+                "scaling-law fits (log-log least squares)",
+                ["fit", "exponent", "coefficient", "r2", "n"],
+                [[name, f["exponent"], f["coefficient"], f["r2"],
+                  f["n"]]
+                 for name, f in sorted(report["fits"].items())]))
+        else:
+            print("no scaling fits (grid too small or zero metrics)")
+        print()
+        if report["anomalies"]:
+            for a in report["anomalies"]:
+                print(f"ANOMALY {a['cell']}: {a['metric']}="
+                      f"{a['value']:g} {a['direction']} vs sweep "
+                      f"median {a['median']:g}")
+        else:
+            print("no per-cell anomalies")
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write {args.out!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote sweep report: {args.out}")
+    if args.html:
+        from repro.obs.html import write_sweep_report
+        try:
+            write_sweep_report(
+                args.html, report,
+                title=f"H-RMC health sweep: {args.experiment} "
+                      f"(test {args.wan_test}, seed {args.seed})")
+        except OSError as exc:
+            print(f"cannot write {args.html!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote html: {args.html}")
+    return 1 if (failed or report["anomalies"]) else 0
+
+
+def _run_health(argv) -> int:
+    """Dispatch the ``health`` subcommand family."""
+    if argv and argv[0] == "report":
+        return _run_health_report(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _run_health_sweep(argv[1:])
+    print("usage: hrmc-experiments health {report,sweep} ...",
           file=sys.stderr)
     return 2
 
@@ -662,6 +956,8 @@ def main(argv=None) -> int:
         return _run_fleet(argv[1:])
     if argv and argv[0] == "perf":
         return _run_perf(argv[1:])
+    if argv and argv[0] == "health":
+        return _run_health(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hrmc-experiments",
         description="Regenerate the tables and figures of the H-RMC "

@@ -25,7 +25,7 @@ from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import FaultPlan
 from repro.kernel.socket_api import Socket
 from repro.obs.observer import Observability
-from repro.rmc import open_rmc_socket
+from repro.core.rmc import open_rmc_socket
 from repro.sim.engine import US_PER_SEC
 from repro.sim.process import Process
 from repro.stats.metrics import Counters

@@ -14,7 +14,8 @@ from __future__ import annotations
 import html as _html
 from typing import Optional
 
-__all__ = ["render_report", "write_report", "sparkline_svg"]
+__all__ = ["render_report", "write_report", "sparkline_svg",
+           "render_sweep_report", "write_sweep_report"]
 
 _STYLE = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
@@ -158,5 +159,97 @@ def write_report(path: str, obs, **kwargs) -> str:
     """Render and write the report; returns ``path``."""
     with open(path, "w") as fh:
         fh.write(render_report(obs, **kwargs))
+        fh.write("\n")
+    return path
+
+
+# -- health-sweep dashboard ---------------------------------------------
+
+#: cell columns in display order; absent keys are skipped per sweep
+_SWEEP_COLUMNS = (
+    "label", "group_size", "loss_rate", "throughput_mbps",
+    "effectiveness", "naks_sent", "suppressed", "feedback_at_sender",
+    "implosion_index", "redundant_ratio", "retrans_bytes",
+    "mean_lag_us", "worst_lag_us", "unresolved",
+)
+
+
+def render_sweep_report(report: dict, *,
+                        title: str = "H-RMC health sweep") -> str:
+    """Self-contained HTML dashboard for one ``health sweep``.
+
+    ``report`` is :func:`repro.stats.scaling.sweep_report`: per-cell
+    health tables, fitted scaling laws with sparklines of the metric
+    across the swept axis, and the anomaly flags.  Same constraints
+    as :func:`render_report` -- one file, zero external assets,
+    deterministic generation order.
+    """
+    cells = report.get("cells", [])
+    fits = report.get("fits", {})
+    anomalies = report.get("anomalies", [])
+
+    out = ["<!DOCTYPE html>", '<html lang="en"><head>',
+           '<meta charset="utf-8">',
+           f"<title>{_esc(title)}</title>",
+           f"<style>{_STYLE}</style>", "</head><body>",
+           f"<h1>{_esc(title)}</h1>",
+           f'<p class="meta">{len(cells)} grid cells · '
+           f'{len(fits)} scaling fits · '
+           f'{len(anomalies)} anomaly flags</p>']
+
+    # -- per-cell health table -----------------------------------------
+    if cells:
+        columns = [c for c in _SWEEP_COLUMNS
+                   if any(c in cell for cell in cells)]
+        rows = [[cell.get(c, "-") for c in columns] for cell in cells]
+        out.append("<h2>per-cell protocol health</h2>")
+        out.extend(_table(columns, rows))
+
+    # -- scaling fits with sparklines ----------------------------------
+    if fits:
+        out.append("<h2>scaling-law fits (log-log least squares)</h2>")
+        out.append("<table><tr><th>fit</th><th>law</th>"
+                   "<th>exponent</th><th>r2</th><th>n</th>"
+                   "<th>trend</th></tr>")
+        for name in sorted(fits):
+            fit = fits[name]
+            x_name, y_name = fit.get("x", "x"), fit.get("y", "y")
+            points = sorted(
+                (cell[x_name], cell[y_name]) for cell in cells
+                if isinstance(cell.get(x_name), (int, float))
+                and isinstance(cell.get(y_name), (int, float)))
+            spark = sparkline_svg([p[0] for p in points],
+                                  [p[1] for p in points])
+            law = (f"{y_name} ~ {fit.get('coefficient', 0):g} · "
+                   f"{x_name}^{fit.get('exponent', 0):g}")
+            out.append(
+                f"<tr><td>{_esc(name)}</td><td>{_esc(law)}</td>"
+                f"<td>{fit.get('exponent', 0):.3f}</td>"
+                f"<td>{fit.get('r2', 0):.3f}</td>"
+                f"<td>{fit.get('n', 0)}</td><td>{spark}</td></tr>")
+        out.append("</table>")
+
+    # -- anomaly flags -------------------------------------------------
+    if anomalies:
+        out.append('<h2 class="stall">per-cell anomalies '
+                   "(vs sweep median)</h2>")
+        out.extend(_table(
+            ["cell", "metric", "value", "median", "gate", "direction"],
+            [[a.get("cell", "?"), a.get("metric", "?"),
+              a.get("value", "?"), a.get("median", "?"),
+              f"{a.get('threshold', 0):.0%}", a.get("direction", "?")]
+             for a in anomalies]))
+    else:
+        out.append('<p class="meta">no per-cell anomalies: every cell '
+                   "within the sweep-median gates</p>")
+
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_sweep_report(path: str, report: dict, **kwargs) -> str:
+    """Render and write the sweep dashboard; returns ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_sweep_report(report, **kwargs))
         fh.write("\n")
     return path

@@ -93,6 +93,17 @@ class Histogram:
                 return float(self.max)
         return float(self.max)
 
+    def summary(self) -> dict:
+        """Compact JSON-safe digest -- the shape carried in
+        protocol-health payloads across the fleet worker boundary."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "max": 0.0}
+        return {"count": self.count, "mean": round(self.mean, 1),
+                "p50": round(self.quantile(0.5), 1),
+                "p90": round(self.quantile(0.9), 1),
+                "max": float(self.max)}
+
     def bucket_rows(self) -> list[tuple[str, int]]:
         """(upper-edge label, count) per non-empty-prefix bucket."""
         rows = [(f"<= {int(b)}", c)

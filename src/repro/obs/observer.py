@@ -62,11 +62,18 @@ class Observability:
                  profile: bool = False, lineage: bool = False,
                  lineage_max_nodes: int = 200_000,
                  stall_after_us: int = 2_000_000,
-                 latency_bounds=LATENCY_BOUNDS_US, perf=None):
+                 latency_bounds=LATENCY_BOUNDS_US, perf=None,
+                 health: bool = False):
         if scrape_interval_us <= 0:
             raise ValueError("scrape_interval_us must be positive")
         self.scrape_interval_us = int(scrape_interval_us)
         self.registry = MetricsRegistry()
+        # the protocol-health observatory (repro.obs.health): ledger
+        # counters live in this registry so they ride every export
+        self.health = None
+        if health:
+            from repro.obs.health import HealthMonitor
+            self.health = HealthMonitor(self.registry)
         # the perf observatory (repro.obs.perf.PerfObservatory) brings
         # its own class-attributing profiler, superseding profile=True
         self.perf = perf
@@ -106,6 +113,17 @@ class Observability:
         self.spans = SpanCollector(scenario.sender.addr,
                                    self._latency_bounds)
         tracer.add_raw_listener(self.spans.on_event)
+
+        if self.health is not None:
+            # hand the monitor to every H-RMC endpoint; the transport
+            # forwards it to the lazily created sender/receiver role
+            # (baseline transports have no ``health`` slot and are
+            # simply not health-instrumented)
+            endpoints = ([ssock] if ssock is not None else []) + list(rsocks)
+            for sock in endpoints:
+                t = getattr(sock, "transport", None)
+                if t is not None and hasattr(t, "health"):
+                    t.health = self.health
 
         if self._want_lineage:
             from repro.obs.causal import LineageRecorder
@@ -197,6 +215,8 @@ class Observability:
             self.spans.finalize(now_us)
         if self.perf is not None:
             self.perf.finalize(now_us, self.spans)
+        if self.health is not None:
+            self.health.finalize(now_us)
 
     @staticmethod
     def _progress_signature(ssock, rsocks):
@@ -324,6 +344,8 @@ class Observability:
                                 "max"], hist_rows))
         if self.perf is not None:
             tables.extend(self.perf.summary_tables())
+        if self.health is not None:
+            tables.extend(self.health.summary_tables())
         return tables
 
     def summary(self) -> str:

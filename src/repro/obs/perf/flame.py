@@ -21,6 +21,7 @@ self-contained SVG renderer for the HTML report.
 
 from __future__ import annotations
 
+import gc
 import sys
 from time import perf_counter_ns
 from typing import Callable
@@ -88,6 +89,15 @@ class StackSampler:
             # c_call / c_return / c_exception: billed to the live stack
             prev = perf_counter_ns()
 
+        # defer automatic GC for the duration of the sample: a cycle
+        # landing mid-callback would run any registered gc.callbacks
+        # (hypothesis installs one process-wide) whose Python frames
+        # leak into the stack keys at a wall-clock-dependent point,
+        # breaking the run-to-run key-set guarantee above -- and the
+        # pause itself would be billed to whatever frame it interrupted
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         self.samples += 1
         sys.setprofile(hook)
         try:
@@ -95,6 +105,8 @@ class StackSampler:
         finally:
             sys.setprofile(None)
             charge(base, frames, perf_counter_ns() - prev)
+            if gc_was_enabled:
+                gc.enable()
 
     # -- export ----------------------------------------------------------
 

@@ -209,6 +209,27 @@ class SpanCollector:
     def histograms(self) -> list[Histogram]:
         return [self.one_way_us, self.queueing_us, self.recovery_us]
 
+    def recovery_by_host(self) -> list[tuple[str, int, int, int]]:
+        """Per-host recovery-span aggregation: (host, episodes,
+        total_us, max_us), sorted by host.  The span-derived
+        cross-check of the health observatory's gap-fill lag ledger:
+        spans measure NAK-send -> repair-arrival on the wire, the
+        ledger measures gap-open -> gap-fill in the reassembly state."""
+        agg: dict[str, list[int]] = {}
+        for span in self.spans:
+            if span.cat != "recovery" or span.end_us is None:
+                continue
+            entry = agg.get(span.host)
+            if entry is None:
+                agg[span.host] = [1, span.dur_us, span.dur_us]
+            else:
+                entry[0] += 1
+                entry[1] += span.dur_us
+                if span.dur_us > entry[2]:
+                    entry[2] = span.dur_us
+        return [(host, e[0], e[1], e[2])
+                for host, e in sorted(agg.items())]
+
     def current_phase(self) -> str:
         """Coarse aggregate protocol phase right now, for attributing
         point-in-time samples (the perf observatory's heap snapshots).

@@ -77,6 +77,11 @@ def append_history(history_path: str, name: str, events_per_s: float,
     metric plus enough environment to judge comparability.  The wall
     date is recorded for the humans reading the log; nothing simulated
     depends on it.
+
+    Re-running a bench at the same revision *replaces* the previous
+    ``(bench, git_rev)`` row instead of appending a duplicate -- the
+    history is one point per bench per revision, so rerunning the
+    suite locally can't make the trajectory double-count.
     """
     environment = environment or bench_environment()
     row = {
@@ -91,8 +96,26 @@ def append_history(history_path: str, name: str, events_per_s: float,
     }
     if extra:
         row.update(extra)
-    with open(history_path, "a") as fh:
-        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    kept: list[str] = []
+    if os.path.exists(history_path):
+        with open(history_path) as fh:
+            for line in fh:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    prev = json.loads(stripped)
+                except json.JSONDecodeError:
+                    kept.append(stripped)     # keep junk lines verbatim
+                    continue
+                if (isinstance(prev, dict)
+                        and prev.get("bench") == row["bench"]
+                        and prev.get("git_rev") == row["git_rev"]):
+                    continue                  # superseded by this run
+                kept.append(stripped)
+    kept.append(json.dumps(row, sort_keys=True))
+    with open(history_path, "w") as fh:
+        fh.write("\n".join(kept) + "\n")
     return row
 
 

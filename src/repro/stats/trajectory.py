@@ -21,7 +21,8 @@ import os
 from dataclasses import dataclass, field
 
 __all__ = ["BenchComparison", "MetricDelta", "DEFAULT_THRESHOLDS",
-           "compare", "load_bench", "metric_value", "history_rows"]
+           "compare", "load_bench", "metric_value", "history_rows",
+           "collapse_history"]
 
 #: metric -> accepted key spellings, newest first
 METRIC_ALIASES: dict[str, tuple[str, ...]] = {
@@ -68,6 +69,9 @@ class MetricDelta:
     new: float
     threshold: float
     regressed: bool
+    # direction this metric regresses in (True: growth is bad); set by
+    # compare() so rows() renders the direction it actually applied
+    lower_is_better: bool = False
 
     @property
     def ratio(self) -> float:
@@ -96,7 +100,7 @@ class BenchComparison:
         """``[metric, old, new, ratio, threshold, verdict]`` table rows."""
         out = []
         for d in self.deltas:
-            direction = "-" if d.metric in LOWER_IS_BETTER else "+"
+            direction = "-" if d.lower_is_better else "+"
             out.append([d.metric, round(d.old, 1), round(d.new, 1),
                         f"{d.ratio:.3f}",
                         f"{direction}{d.threshold:.0%}",
@@ -106,22 +110,28 @@ class BenchComparison:
         return out
 
 
-def compare(old, new, thresholds: dict[str, float] | None = None
+def compare(old, new, thresholds: dict[str, float] | None = None, *,
+            lower_is_better: frozenset[str] | set[str] | None = None
             ) -> BenchComparison:
     """Compare two bench documents (dicts or paths) metric-by-metric.
 
     ``thresholds`` maps metric name to the tolerated fractional drift
     (default: ``events_per_s`` within 15 %).  A throughput metric
     regresses when ``new < old * (1 - threshold)``; a cost metric
-    (in :data:`LOWER_IS_BETTER`) when ``new > old * (1 + threshold)``.
-    Metrics missing from either side are recorded as skipped, never
-    silently ignored.
+    when ``new > old * (1 + threshold)``.  ``lower_is_better`` names
+    the cost metrics (default :data:`LOWER_IS_BETTER`); callers with
+    their own direction semantics -- the protocol-health sweep flags
+    an implosion-index *rise* but a suppression-effectiveness *drop*
+    -- pass their own set.  Metrics missing from either side are
+    recorded as skipped, never silently ignored.
     """
     if isinstance(old, str):
         old = load_bench(old)
     if isinstance(new, str):
         new = load_bench(new)
     thresholds = thresholds if thresholds is not None else DEFAULT_THRESHOLDS
+    cost_metrics = (LOWER_IS_BETTER if lower_is_better is None
+                    else frozenset(lower_is_better))
     result = BenchComparison(old.get("bench", "?"), new.get("bench", "?"))
     for metric in thresholds:
         threshold = float(thresholds[metric])
@@ -132,12 +142,14 @@ def compare(old, new, thresholds: dict[str, float] | None = None
         if old_v is None or new_v is None:
             result.skipped.append(metric)
             continue
-        if metric in LOWER_IS_BETTER:
+        lower = metric in cost_metrics
+        if lower:
             regressed = new_v > old_v * (1.0 + threshold)
         else:
             regressed = new_v < old_v * (1.0 - threshold)
         result.deltas.append(
-            MetricDelta(metric, old_v, new_v, threshold, regressed))
+            MetricDelta(metric, old_v, new_v, threshold, regressed,
+                        lower_is_better=lower))
     return result
 
 
@@ -159,3 +171,23 @@ def history_rows(path: str) -> list[dict]:
             if isinstance(row, dict):
                 rows.append(row)
     return rows
+
+
+def collapse_history(rows: list[dict]) -> list[dict]:
+    """Collapse duplicate ``(bench, git_rev)`` rows, keeping the last
+    occurrence of each (a regenerated bench supersedes the stale row).
+
+    ``append_history`` now replaces on match, but histories written
+    before that fix may carry duplicates; readers collapse them
+    instead of double-plotting.  Rows without both keys are kept as-is
+    in order.
+    """
+    latest: dict[tuple, int] = {}
+    for i, row in enumerate(rows):
+        bench, rev = row.get("bench"), row.get("git_rev")
+        if bench is not None and rev is not None:
+            latest[(bench, rev)] = i
+    keep = set(latest.values())
+    return [row for i, row in enumerate(rows)
+            if row.get("bench") is None or row.get("git_rev") is None
+            or i in keep]

@@ -15,7 +15,7 @@ from repro.core.protocol import open_hrmc_socket
 from repro.harness.runner import run_transfer
 from repro.kernel.payload import PatternPayload, pattern_bytes
 from repro.net.topology import GroupSpec
-from repro.rmc import open_rmc_socket
+from repro.core.rmc import open_rmc_socket
 from repro.sim.process import Process
 from repro.workloads.groups import GROUP_A, GROUP_B, GROUP_C
 from repro.workloads.scenarios import build_lan, build_wan

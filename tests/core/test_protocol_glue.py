@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import HRMCConfig
 from repro.core.protocol import HRMCTransport, open_hrmc_socket
 from repro.kernel.payload import PatternPayload
-from repro.rmc import open_rmc_socket, rmc_config
+from repro.core.rmc import open_rmc_socket, rmc_config
 from repro.sim.process import Process
 from repro.workloads.scenarios import build_lan
 

@@ -1,0 +1,144 @@
+"""The ``health`` CLI family: report (with bounds gating) and sweep.
+
+Exit-code contract (shared with ``diff``/``perf compare``): 0 = healthy
+/ clean sweep, 1 = run failed / bound violated / anomalies flagged,
+2 = unusable input.  The sweep test doubles as the quick-scale
+acceptance check for the paper's §5.2 claim: sender-visible feedback
+stays near-flat as the group grows (fitted exponent well below 1).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+
+WAN_ARGS = ["--receivers", "3", "--nbytes", "200000", "--seed", "21"]
+
+
+@pytest.fixture(scope="module")
+def reported(tmp_path_factory):
+    """One observed wan run shared by the report tests."""
+    tmp = tmp_path_factory.mktemp("health-cli")
+    out = tmp / "health.json"
+    html = tmp / "health.html"
+    rc = cli_main(["health", "report", "wan", *WAN_ARGS,
+                   "--out", str(out), "--html", str(html)])
+    assert rc == 0
+    return {"out": out, "html": html}
+
+
+def test_report_writes_payload_and_html(reported):
+    payload = json.loads(reported["out"].read_text())
+    assert payload["group_size"] == 3
+    assert payload["suppression"]["naks_sent"] > 0
+    html = reported["html"].read_text()
+    assert "NAK-suppression ledger" in html
+    assert "implosion" in html
+
+
+def test_report_text_tables(capsys):
+    rc = cli_main(["health", "report", "wan", *WAN_ARGS])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "NAK-suppression ledger" in text
+    assert "implosion & repair economics" in text
+    assert "recovery lag (us)" in text
+
+
+def test_report_json_mode(capsys):
+    rc = cli_main(["health", "report", "wan", *WAN_ARGS, "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["implosion"]["naks_at_sender"] > 0
+
+
+def test_report_bounds_gate_passes_and_trips(tmp_path, capsys):
+    loose = tmp_path / "loose.json"
+    loose.write_text(json.dumps(
+        {"wan": {"effectiveness_min": 0.01, "unresolved_max": 0}}))
+    assert cli_main(["health", "report", "wan", *WAN_ARGS,
+                     "--bounds", str(loose)]) == 0
+    capsys.readouterr()
+    tight = tmp_path / "tight.json"
+    tight.write_text(json.dumps(
+        {"wan": {"effectiveness_min": 0.999,
+                 "redundant_ratio_max": 0.0}}))
+    assert cli_main(["health", "report", "wan", *WAN_ARGS,
+                     "--bounds", str(tight)]) == 1
+    err = capsys.readouterr().err
+    assert "HEALTH BOUND VIOLATED" in err
+    assert "effectiveness" in err
+
+
+def test_report_bounds_unusable_inputs(tmp_path):
+    missing = tmp_path / "missing.json"
+    assert cli_main(["health", "report", "wan", *WAN_ARGS,
+                     "--bounds", str(missing)]) == 2
+    noscenario = tmp_path / "noscenario.json"
+    noscenario.write_text(json.dumps({"lan": {}}))
+    assert cli_main(["health", "report", "wan", *WAN_ARGS,
+                     "--bounds", str(noscenario)]) == 2
+
+
+def test_committed_bounds_cover_pinned_scenarios():
+    """The repo-root HEALTH_BOUNDS.json (the CI gate file) names both
+    pinned scenarios and gates the two ISSUE metrics."""
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "HEALTH_BOUNDS.json")
+    doc = json.loads(open(path).read())
+    assert "lan" in doc and "wan" in doc
+    assert "effectiveness_min" in doc["wan"]
+    assert "redundant_ratio_max" in doc["wan"]
+
+
+def test_health_usage_error():
+    assert cli_main(["health"]) == 2
+    assert cli_main(["health", "bogus"]) == 2
+
+
+# -- sweep --------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def swept(tmp_path_factory):
+    """One quick-scale fig14 sweep shared by the sweep tests."""
+    tmp = tmp_path_factory.mktemp("health-sweep")
+    out = tmp / "sweep.json"
+    html = tmp / "sweep.html"
+    rc = cli_main(["health", "sweep", "--experiment", "fig14",
+                   "--grid", "2,3,5", "--nbytes", "150000",
+                   "--no-cache", "--out", str(out), "--html", str(html)])
+    return {"rc": rc, "out": out, "html": html}
+
+
+def test_sweep_exit_clean(swept):
+    assert swept["rc"] == 0
+
+
+def test_sweep_reproduces_flat_feedback_trend(swept):
+    """Paper §5.2 at quick scale: NAK suppression keeps sender-visible
+    feedback near-flat as the group grows -- the fitted feedback-vs-
+    group-size exponent is far below linear growth."""
+    report = json.loads(swept["out"].read_text())
+    assert len(report["cells"]) == 3
+    fit = report["fits"]["feedback_vs_group"]
+    assert fit["n"] == 3
+    assert fit["exponent"] < 0.5, \
+        f"feedback grows ~n^{fit['exponent']}: suppression is broken"
+    # and the per-loss-event implosion index does not explode with n
+    imp = report["fits"]["implosion_vs_group"]
+    assert imp["exponent"] < 0.5
+
+
+def test_sweep_html_dashboard(swept):
+    html = swept["html"].read_text()
+    assert "per-cell protocol health" in html
+    assert "scaling-law fits" in html
+    assert "<svg" in html, "fit sparklines are inline SVG"
+    assert "feedback_vs_group" in html
+
+
+def test_sweep_rejects_bad_grid(capsys):
+    assert cli_main(["health", "sweep", "--grid", "2,x"]) == 2
+    assert cli_main(["health", "sweep", "--grid", "0,3"]) == 2

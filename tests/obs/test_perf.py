@@ -130,6 +130,34 @@ def test_sampler_counts_and_stacks_deterministic():
     assert stacks_a == stacks_b
 
 
+def test_sampler_immune_to_foreign_gc_callbacks():
+    """A process-wide gc.callbacks entry (hypothesis registers one) must
+    never leak its frames into the sampled stack keys: GC cycles land at
+    wall-clock-dependent points, so one run would record the callback's
+    frames where the other doesn't.  The sampler defers automatic GC for
+    the duration of each sample."""
+    import gc
+
+    def nosy_gc_callback(phase, info):
+        pass
+
+    thresholds = gc.get_threshold()
+    gc.callbacks.append(nosy_gc_callback)
+    gc.set_threshold(1)          # collect (and fire callbacks) constantly
+    try:
+        perf_a, _ = _profiled_run(sample_every=16)
+        perf_b, _ = _profiled_run(sample_every=16)
+    finally:
+        gc.callbacks.remove(nosy_gc_callback)
+        gc.set_threshold(*thresholds)
+    for key in list(perf_a.sampler.stacks) + list(perf_b.sampler.stacks):
+        assert not any("nosy_gc_callback" in label for label in key), key
+    stacks_a = [ln.rsplit(" ", 1)[0] for ln in perf_a.collapsed_lines()]
+    stacks_b = [ln.rsplit(" ", 1)[0] for ln in perf_b.collapsed_lines()]
+    assert stacks_a == stacks_b
+    assert gc.isenabled()        # the sampler restored GC afterwards
+
+
 def test_collapsed_lines_format():
     perf, _ = _profiled_run(sample_every=16)
     lines = perf.collapsed_lines()

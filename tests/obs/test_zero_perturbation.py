@@ -13,15 +13,17 @@ from repro.harness.runner import run_transfer
 from repro.net.topology import GroupSpec
 from repro.obs import Observability
 from repro.trace import PacketTracer
-from repro.workloads.scenarios import build_chaos, build_wan
+from repro.workloads.scenarios import build_chaos, build_lan, build_wan
 
 LOSSY = GroupSpec("L", delay_us=20_000, loss_rate=0.02)
 
 
-def _run(observe: bool, build, lineage: bool = False):
+def _run(observe: bool, build, lineage: bool = False,
+         health: bool = False):
     sc = build()
     tracer = PacketTracer()   # run_transfer attaches it to every host
-    obs = Observability(profile=True, lineage=lineage) if observe else None
+    obs = Observability(profile=True, lineage=lineage,
+                        health=health) if observe else None
     res = run_transfer(sc, nbytes=250_000, sndbuf=128 * 1024,
                        max_sim_s=300, obs=obs, tracer=tracer)
     return sc, tracer, res
@@ -81,6 +83,48 @@ def test_zero_perturbation_with_lineage_chaos():
     obs = traced[2].obs
     # fault actions became pinned lineage roots
     assert obs.lineage.find(kind="fault")
+
+
+def test_zero_perturbation_with_health_lan():
+    """The protocol-health observatory (PR 8) keeps the guarantee on
+    the clean path: every hook is a None-guarded attribute read."""
+    build = lambda: build_lan(3, 10e6, seed=7)
+    bare = _run(False, build)
+    healthy = _run(True, build, health=True)
+    _assert_identical(bare, healthy)
+    # non-vacuous even when lossless: feedback still reaches the sender
+    payload = healthy[2].obs.health.payload()
+    assert payload["implosion"]["feedback_at_sender"] > 0
+    assert payload["suppression"]["naks_sent"] == 0
+
+
+def test_zero_perturbation_with_health_lossy_wan():
+    """...and on the recovery path, where every ledger hook fires."""
+    build = lambda: build_wan([LOSSY] * 3, 10e6, seed=21)
+    bare = _run(False, build)
+    healthy = _run(True, build, health=True)
+    _assert_identical(bare, healthy)
+    payload = healthy[2].obs.health.payload()
+    # seed 21 is known lossy: the ledger saw real recovery traffic
+    assert payload["suppression"]["gaps_opened"] > 0
+    assert payload["suppression"]["naks_sent"] > 0
+    assert payload["implosion"]["loss_events"] > 0
+    assert payload["lag"]["filled"] > 0
+    # counters the bare run also keeps must agree exactly
+    assert payload["implosion"]["naks_at_sender"] == \
+        bare[2].sender_stats.naks_rcvd
+    assert payload["suppression"]["naks_sent"] == \
+        bare[2].receiver_stats.naks_sent
+
+
+def test_zero_perturbation_with_health_chaos():
+    build = lambda: build_chaos(3, 10e6, seed=4, horizon_us=1_000_000,
+                                allow_crash=False)
+    bare = _run(False, build)
+    healthy = _run(True, build, health=True)
+    _assert_identical(bare, healthy)
+    assert bare[2].fault_events == healthy[2].fault_events
+    assert healthy[2].obs.health.payload()["group_size"] == 3
 
 
 def test_observed_run_yields_data():
